@@ -1,0 +1,77 @@
+//! Benchmarks the CPU-side cost of the two exchange implementations
+//! across GPU counts.
+//!
+//! Note: on the shared-memory simulator both paths are dominated by
+//! thread-spawn and barrier costs, so *wall-clock here does not rank the
+//! algorithms the way a PCIe/IB fabric does* — the paper's claims are
+//! about wire bytes and device memory, which the test suites assert on
+//! measured traffic, and about cluster wall-clock, which the calibrated
+//! `perfmodel` covers. This bench tracks simulator overhead regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::{Embedding, SparseGrad};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simgpu::CommGroup;
+use tensor::Matrix;
+use zipf::ZipfMandelbrot;
+use zipf_lm::{exchange_and_apply, ExchangeConfig};
+
+const VOCAB: usize = 5_000;
+const DIM: usize = 32;
+const TOKENS: usize = 256;
+
+fn zipfian_grad(seed: u64) -> SparseGrad {
+    let dist = ZipfMandelbrot::new(VOCAB, 1.5625, 3.5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices: Vec<u32> = (0..TOKENS).map(|_| dist.sample(&mut rng) as u32).collect();
+    let rows = Matrix::from_vec(
+        TOKENS,
+        DIM,
+        (0..TOKENS * DIM).map(|_| rng.gen_range(-0.1..0.1)).collect(),
+    );
+    SparseGrad { indices, rows }
+}
+
+fn run_exchange(world: usize, cfg: ExchangeConfig) {
+    let ranks = CommGroup::create(world);
+    std::thread::scope(|s| {
+        for rank in ranks {
+            s.spawn(move || {
+                let mut table = Embedding::from_matrix(Matrix::zeros(VOCAB, DIM));
+                let grad = zipfian_grad(rank.rank() as u64);
+                exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
+            });
+        }
+    });
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange");
+    for world in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", world),
+            &world,
+            |b, &w| b.iter(|| run_exchange(w, ExchangeConfig::baseline())),
+        );
+        group.bench_with_input(BenchmarkId::new("unique", world), &world, |b, &w| {
+            b.iter(|| run_exchange(w, ExchangeConfig::unique()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("unique_f16", world),
+            &world,
+            |b, &w| b.iter(|| run_exchange(w, ExchangeConfig::unique_compressed())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_local_reduce(c: &mut Criterion) {
+    let grad = zipfian_grad(3);
+    c.bench_function("local_reduce_zipfian_256tok", |b| {
+        b.iter(|| std::hint::black_box(&grad).local_reduce())
+    });
+}
+
+criterion_group!(benches, bench_exchange, bench_local_reduce);
+criterion_main!(benches);

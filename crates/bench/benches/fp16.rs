@@ -1,0 +1,32 @@
+//! Benchmarks the software binary16 conversion and compression-scaling
+//! round trip (§III-C's per-tensor cast overhead — the paper observed
+//! cast overhead limits compression gains on tensor-heavy models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::f16::{compress_scaled, decompress_scaled, round_trip_scaled_in_place};
+
+fn bench_casts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp16");
+    for &n in &[1usize << 10, 1 << 16, 1 << 20] {
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 1e-3).collect();
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("compress", n), &xs, |b, xs| {
+            let mut wire = Vec::new();
+            b.iter(|| compress_scaled(xs, 512.0, &mut wire))
+        });
+        let mut wire = Vec::new();
+        compress_scaled(&xs, 512.0, &mut wire);
+        group.bench_with_input(BenchmarkId::new("decompress", n), &wire, |b, wire| {
+            let mut out = vec![0.0f32; n];
+            b.iter(|| decompress_scaled(wire, 512.0, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("round_trip", n), &xs, |b, xs| {
+            let mut buf = xs.clone();
+            b.iter(|| round_trip_scaled_in_place(&mut buf, 512.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_casts);
+criterion_main!(benches);

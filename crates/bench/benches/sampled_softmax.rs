@@ -1,0 +1,42 @@
+//! Benchmarks sampled softmax vs full softmax — the computational
+//! motivation for sampling (§II-A) — and the log-uniform sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::sampled_softmax::full_softmax_eval_loss;
+use nn::{Embedding, SampledSoftmax};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::init;
+use zipf::LogUniform;
+
+fn bench_softmax(c: &mut Criterion) {
+    let vocab = 20_000;
+    let p = 64;
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(1);
+    let table = Embedding::new(&mut rng, vocab, p);
+    let h = init::uniform(&mut rng, n, p, 1.0);
+    let targets: Vec<u32> = (0..n).map(|i| (i * 131 % vocab) as u32).collect();
+
+    let mut group = c.benchmark_group("softmax");
+    for &s in &[128usize, 512, 1024] {
+        let ss = SampledSoftmax::new(vocab, s);
+        group.bench_with_input(BenchmarkId::new("sampled", s), &ss, |b, ss| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| ss.forward_backward(&mut rng, &h, &targets, &table))
+        });
+    }
+    group.bench_function("full_eval_20k_vocab", |b| {
+        b.iter(|| full_softmax_eval_loss(&h, &targets, &table))
+    });
+    group.finish();
+}
+
+fn bench_log_uniform(c: &mut Criterion) {
+    let lu = LogUniform::new(100_000);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("log_uniform_draw", |b| b.iter(|| lu.sample(&mut rng)));
+}
+
+criterion_group!(benches, bench_softmax, bench_log_uniform);
+criterion_main!(benches);

@@ -1,0 +1,343 @@
+//! One runner per paper artifact.
+
+use corpus::{corpus_stats, CorpusGenerator, CorpusStats, DatasetProfile, TokenUnit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zipf::{fit_power_law, heaps_curve_from_sampler, HeapsPoint, PowerLawFit};
+use zipf::{heaps::log_checkpoints, ZipfMandelbrot};
+use zipf_lm::seeding::SeedStrategy;
+use zipf_lm::{Method, ModelKind, TrainConfig, TrainReport};
+
+/// One dataset's type–token curve and its power-law fit (Figure 1).
+#[derive(Debug, Clone)]
+pub struct HeapsSeries {
+    /// Dataset short name ("1b", "gb", "cc", "ar").
+    pub name: &'static str,
+    /// Measured `(N, U)` points.
+    pub points: Vec<HeapsPoint>,
+    /// Log–log least-squares fit `U = a·N^α`.
+    pub fit: PowerLawFit,
+}
+
+/// Figure 1: type–token curves for the four word profiles, swept to
+/// `max_tokens` (the paper sweeps to 5·10⁷; 10⁶ reproduces the fit in
+/// seconds).
+pub fn fig1(max_tokens: u64, seed: u64) -> Vec<HeapsSeries> {
+    DatasetProfile::figure1_profiles()
+        .into_iter()
+        .map(|p| {
+            let dist = ZipfMandelbrot::new(p.word_types, p.zipf_s, p.zipf_q);
+            let cps = log_checkpoints(500, max_tokens, 4);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points =
+                heaps_curve_from_sampler(&mut rng, p.word_types, &cps, |r| dist.sample(r));
+            let xs: Vec<f64> = points.iter().map(|q| q.tokens as f64).collect();
+            let ys: Vec<f64> = points.iter().map(|q| q.types as f64).collect();
+            let fit = fit_power_law(&xs, &ys).expect("fit");
+            HeapsSeries {
+                name: p.name,
+                points,
+                fit,
+            }
+        })
+        .collect()
+}
+
+/// One Table I row: synthetic stats next to the paper's real-corpus
+/// numbers.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Synthetic corpus statistics at `1/scale` of the real size.
+    pub stats: CorpusStats,
+    /// The profile (for the paper-side columns).
+    pub profile: DatasetProfile,
+}
+
+/// Table I: generate each dataset at `1/scale` of its paper size and
+/// measure.
+pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
+    DatasetProfile::table1_profiles()
+        .into_iter()
+        .map(|p| {
+            let (unit, n, bytes_per_char) = match p.language {
+                corpus::Language::Chinese => {
+                    (TokenUnit::Char, (p.paper_chars_billion * 1e9 / scale) as usize, 3)
+                }
+                corpus::Language::English => (
+                    TokenUnit::Word,
+                    (p.paper_words_billion.unwrap_or(1.0) * 1e9 / scale) as usize,
+                    1,
+                ),
+            };
+            let c = CorpusGenerator::new(&p, unit, seed).corpus(n);
+            Table1Row {
+                name: p.name,
+                stats: corpus_stats(&c, bytes_per_char),
+                profile: p,
+            }
+        })
+        .collect()
+}
+
+/// One accuracy curve (Figures 5, 7, 8): label + per-epoch validation
+/// perplexity.
+#[derive(Debug, Clone)]
+pub struct AccuracyCurve {
+    /// Legend label.
+    pub label: String,
+    /// `(epoch, validation perplexity)` points.
+    pub points: Vec<(usize, f64)>,
+    /// The raw report for deeper inspection.
+    pub report: TrainReport,
+}
+
+fn curve(label: String, cfg: &TrainConfig) -> AccuracyCurve {
+    let report = zipf_lm::train(cfg).expect("training run");
+    let points = report
+        .epochs
+        .iter()
+        .map(|e| (e.epoch + 1, e.valid_ppl))
+        .collect();
+    AccuracyCurve {
+        label,
+        points,
+        report,
+    }
+}
+
+/// Base configuration for the accuracy experiments; `quick` trades
+/// fidelity for seconds-scale runtime.
+fn accuracy_cfg(quick: bool) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Word {
+            vocab: if quick { 300 } else { 1500 },
+        },
+        gpus: 2,
+        batch: 4,
+        seq_len: 10,
+        steps_per_epoch: 0, // full shard per epoch
+        epochs: if quick { 3 } else { 4 },
+        base_lr: 0.35,
+        lr_decay: 0.85,
+        method: Method::unique(),
+        seed: 42,
+        tokens: if quick { 80_000 } else { 240_000 },
+    }
+}
+
+/// Figure 5: word-LM perplexity vs epoch at three GPU counts. The paper
+/// uses 16/32/64; we keep the same 1:2:4 ratios at 2/4/8 simulated GPUs.
+pub fn fig5(quick: bool) -> Vec<AccuracyCurve> {
+    [2usize, 4, 8]
+        .iter()
+        .map(|&g| {
+            let mut cfg = accuracy_cfg(quick);
+            cfg.gpus = g;
+            curve(format!("{g} gpu"), &cfg)
+        })
+        .collect()
+}
+
+/// §V-A compression accuracy: word-LM perplexity after training with and
+/// without FP16 compression (the paper: 84.68 vs 84.12 after one epoch —
+/// i.e. indistinguishable).
+pub fn compression_accuracy(quick: bool) -> (f64, f64) {
+    let mut cfg = accuracy_cfg(quick);
+    cfg.method = Method::unique_seeded();
+    let without = zipf_lm::train(&cfg).expect("run").final_ppl();
+    cfg.method = Method::full();
+    let with = zipf_lm::train(&cfg).expect("run").final_ppl();
+    (without, with)
+}
+
+/// Figure 7: seeding strategies at a fixed GPU count (the paper uses 64;
+/// we use 8 so every strategy has a distinct seed count).
+pub fn fig7(quick: bool) -> Vec<AccuracyCurve> {
+    SeedStrategy::figure7_strategies()
+        .into_iter()
+        .map(|s| {
+            let mut cfg = accuracy_cfg(quick);
+            cfg.gpus = 8;
+            cfg.batch = 2;
+            cfg.method = Method {
+                unique: true,
+                seeding: s,
+                compression: None,
+            };
+            curve(s.label().to_string(), &cfg)
+        })
+        .collect()
+}
+
+/// Figure 8: char-LM perplexity vs epoch at three GPU counts.
+pub fn fig8(quick: bool) -> Vec<AccuracyCurve> {
+    [2usize, 4, 8]
+        .iter()
+        .map(|&g| {
+            let mut cfg = accuracy_cfg(quick);
+            cfg.model = ModelKind::Char { vocab: 98 };
+            cfg.gpus = g;
+            cfg.base_lr = 0.8;
+            curve(format!("{g} gpu"), &cfg)
+        })
+        .collect()
+}
+
+/// One Table V perplexity row from real miniature weak scaling.
+#[derive(Debug, Clone)]
+pub struct WeakScalingAccuracy {
+    /// Simulated GPUs.
+    pub gpus: usize,
+    /// Corpus tokens (grows with GPUs — weak scaling).
+    pub tokens: usize,
+    /// Final validation perplexity.
+    pub ppl: f64,
+    /// Compression ratio vs a 16-bit/char encoding (§V-C metric).
+    pub compression_ratio: f64,
+}
+
+/// Table V's accuracy trend in miniature: 1×/4×/32× data on 1×/4×/32×
+/// GPUs (6/24/192 in the paper; 1/4/8-capped here), same validation set
+/// semantics (fixed seed ⇒ same held-out distribution).
+pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
+    let base_tokens = if quick { 40_000 } else { 150_000 };
+    // Like Table V, the learning rate grows with scale (the paper: 2e-4 /
+    // 4e-4 / 5e-4) to compensate the larger global batch.
+    [(1usize, 1usize, 0.8f32), (4, 8, 1.1), (8, 32, 1.4)]
+        .iter()
+        .map(|&(g, data_mult, base_lr)| {
+            let cfg = TrainConfig {
+                model: ModelKind::Char { vocab: 200 },
+                gpus: g,
+                batch: 4,
+                seq_len: 10,
+                steps_per_epoch: 0,
+                epochs: if quick { 1 } else { 2 },
+                base_lr,
+                lr_decay: 0.9,
+                method: Method::full(),
+                seed: 1234, // fixed so the validation distribution matches
+                tokens: base_tokens * data_mult,
+            };
+            let report = zipf_lm::train(&cfg).expect("run");
+            let ppl = report.final_ppl();
+            WeakScalingAccuracy {
+                gpus: g,
+                tokens: cfg.tokens,
+                ppl,
+                compression_ratio: 16.0 / ppl.log2(),
+            }
+        })
+        .collect()
+}
+
+/// §V-D comparison against [21] (Puri et al., Amazon Reviews char LM on
+/// 128 V100s): our char-LM BPC on the ar profile plus the
+/// infrastructure-normalised throughput argument.
+#[derive(Debug, Clone)]
+pub struct SotaComparison {
+    /// Our measured bits-per-character.
+    pub our_bpc: f64,
+    /// The paper's reported BPC on the same setup (1.208 @1 epoch).
+    pub paper_bpc: f64,
+    /// [21]'s reported BPC (1.218 @1 epoch).
+    pub reference_bpc: f64,
+    /// Peak-FLOP ratio of [21]'s 128×V100 vs the paper's 64×TitanX.
+    pub infra_flop_ratio: f64,
+}
+
+/// Runs the §V-D comparison.
+pub fn sota_comparison(quick: bool) -> SotaComparison {
+    let cfg = TrainConfig {
+        model: ModelKind::Char { vocab: 98 },
+        gpus: 4,
+        batch: 4,
+        seq_len: 12,
+        steps_per_epoch: 0,
+        epochs: if quick { 2 } else { 4 },
+        base_lr: 0.8,
+        lr_decay: 0.9,
+        method: Method::full(),
+        seed: 77,
+        tokens: if quick { 60_000 } else { 300_000 },
+    };
+    let report = zipf_lm::train(&cfg).expect("run");
+    let our_bpc = report.epochs.last().unwrap().valid_bpc;
+    let titan = simgpu::HardwareConfig::titan_x_cluster();
+    let v100 = simgpu::HardwareConfig::v100_dgx();
+    SotaComparison {
+        our_bpc,
+        paper_bpc: 1.208,
+        reference_bpc: 1.218,
+        infra_flop_ratio: v100.cluster_peak_flops(128) / titan.cluster_peak_flops(64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_fits_power_law_near_064() {
+        let series = fig1(200_000, 7);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert!(
+                (s.fit.exponent - 0.64).abs() < 0.12,
+                "{}: exponent {}",
+                s.name,
+                s.fit.exponent
+            );
+            assert!(s.fit.r_squared > 0.97, "{}: r2 {}", s.name, s.fit.r_squared);
+            // Every point far below the x = y "batch" line once N is
+            // large (the ~100× gap the paper highlights).
+            let last = s.points.last().unwrap();
+            assert!(last.types * 5 < last.tokens);
+        }
+    }
+
+    #[test]
+    fn table1_scales() {
+        let rows = table1(100_000.0, 3);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.stats.tokens > 0);
+            assert!(r.stats.types <= r.stats.tokens);
+        }
+        // Chinese synthesizes 3 bytes/char.
+        let tieba = rows.iter().find(|r| r.name == "tieba").unwrap();
+        assert_eq!(tieba.stats.bytes, tieba.stats.chars * 3);
+    }
+
+    #[test]
+    fn fig5_curves_improve_and_converge() {
+        // The paper's Figure 5 claim is not monotonicity but
+        // *convergence*: all GPU counts end in the same accuracy regime,
+        // far below the untrained model.
+        let curves = fig5(true);
+        assert_eq!(curves.len(), 3);
+        let finals: Vec<f64> = curves.iter().map(|c| c.points.last().unwrap().1).collect();
+        for (c, &f) in curves.iter().zip(&finals) {
+            // Learned: well under the ~vocab-size perplexity of an
+            // untrained model, and no post-convergence blow-up.
+            assert!(f < 150.0, "{}: final ppl {f}", c.label);
+            let first = c.points.first().unwrap().1;
+            assert!(f < first * 1.15, "{}: {first} -> {f}", c.label);
+        }
+        let max = finals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = finals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.35, "curves did not converge: {finals:?}");
+    }
+
+    #[test]
+    fn table5_more_data_better_ppl() {
+        let rows = table5_accuracy(true);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows.last().unwrap().ppl < rows.first().unwrap().ppl,
+            "{rows:?}"
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment runners for the paper's tables and figures.
+//!
+//! Each `fig*` / `table*` function regenerates one evaluation artifact of
+//! the paper. Figures that report *accuracy* (5, 7, 8; Table V's
+//! perplexity column) really train scaled-down models on the simulated
+//! cluster; tables that report *full-scale time/memory* (III, IV, V's
+//! hours; Figure 6) use the calibrated `perfmodel`. The `repro` binary
+//! prints them in paper layout; integration tests assert their shapes.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,78 @@
+//! Minimal fixed-width table printer for paper-style output.
+
+/// Renders rows of cells with right-aligned columns.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&" ".repeat(w - c.len()));
+            out.push_str(c);
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats an optional hours value (`*` = OOM, as in the paper).
+pub fn hours(h: Option<f64>) -> String {
+    match h {
+        Some(v) => format!("{v:.1}"),
+        None => "*".to_string(),
+    }
+}
+
+/// Formats an optional efficiency as a percentage.
+pub fn pct(p: Option<f64>) -> String {
+    match p {
+        Some(v) => format!("{:.0}%", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = render(
+            &["GPUs", "Time"],
+            &[
+                vec!["8".into(), "35.1".into()],
+                vec!["16".into(), "41.1".into()],
+            ],
+        );
+        assert!(s.contains("GPUs  Time"));
+        assert!(s.contains("   8  35.1"));
+        assert!(s.contains("  16  41.1"));
+    }
+
+    #[test]
+    fn formats_oom_and_pct() {
+        assert_eq!(hours(None), "*");
+        assert_eq!(hours(Some(4.53)), "4.5");
+        assert_eq!(pct(Some(0.761)), "76%");
+        assert_eq!(pct(None), "-");
+    }
+}

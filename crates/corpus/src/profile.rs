@@ -1,0 +1,231 @@
+//! Dataset profiles: generation parameters + the paper's Table I facts.
+//!
+//! Each profile pairs (a) the Zipf–Mandelbrot parameters that make the
+//! synthetic stream's type–token curve match Figure 1, with (b) the real
+//! corpus statistics from Table I so reports can show the scale factor of
+//! the substitution. Exponents: Heaps' α ≈ 1/s asymptotically, so
+//! `s ≈ 1/0.64 ≈ 1.56` targets the paper's measured 0.64. The Mandelbrot
+//! offset `q` tunes the prefactor (the paper fits `U = 7.02·N^0.64` on
+//! Amazon Reviews).
+
+/// Token granularity of a language model over a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenUnit {
+    /// Word-level LM (large vocabulary; the paper truncates to 100 K).
+    Word,
+    /// Character-level LM (98-symbol English / ~15 K-symbol Chinese).
+    Char,
+}
+
+/// Natural language of the source corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// English (1b, gb, cc, ar).
+    English,
+    /// Chinese (tieba).
+    Chinese,
+}
+
+/// A synthetic stand-in for one of the paper's corpora.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Short name used throughout the paper ("1b", "gb", "cc", "ar", "tieba").
+    pub name: &'static str,
+    /// Source language.
+    pub language: Language,
+    /// Number of distinct word types the generator can emit. The paper
+    /// reports 2 M – 24 M unique words per corpus; we keep the generator
+    /// vocabulary large enough that the type–token curve never saturates
+    /// in our sweeps.
+    pub word_types: usize,
+    /// Zipf–Mandelbrot exponent `s` for the word distribution.
+    pub zipf_s: f64,
+    /// Zipf–Mandelbrot offset `q` for the word distribution.
+    pub zipf_q: f64,
+    /// Character vocabulary size (98 for English per §IV-A; 15,437 for
+    /// the Tieba Chinese corpus per §V-C).
+    pub char_types: usize,
+    /// Zipf exponent for the character distribution (characters are much
+    /// flatter than words; ~1.0 keeps a small effective alphabet).
+    pub char_zipf_s: f64,
+    /// Default synthetic corpus size in word tokens (scaled down from the
+    /// paper's corpus by `scale_down`).
+    pub default_tokens: u64,
+    /// How much smaller the synthetic default is than the real corpus.
+    pub scale_down: f64,
+    /// Table I: number of characters in the real corpus (billions).
+    pub paper_chars_billion: f64,
+    /// Table I: number of words in the real corpus (billions), if word
+    /// counts apply (Chinese is unsegmented: `None`).
+    pub paper_words_billion: Option<f64>,
+    /// Table I: corpus size in GB.
+    pub paper_bytes_gb: f64,
+}
+
+impl DatasetProfile {
+    /// 1-Billion Word benchmark (Chelba et al.) — "1b".
+    pub fn one_billion() -> Self {
+        Self {
+            name: "1b",
+            language: Language::English,
+            word_types: 2_000_000,
+            zipf_s: 1.5625,
+            zipf_q: 3.5,
+            char_types: 98,
+            char_zipf_s: 1.0,
+            default_tokens: 780_000, // 0.78 B words / 1000
+            scale_down: 1000.0,
+            paper_chars_billion: 4.19,
+            paper_words_billion: Some(0.78),
+            paper_bytes_gb: 3.94,
+        }
+    }
+
+    /// Project Gutenberg — "gb".
+    pub fn gutenberg() -> Self {
+        Self {
+            name: "gb",
+            language: Language::English,
+            word_types: 3_000_000,
+            zipf_s: 1.5625,
+            zipf_q: 2.5,
+            char_types: 98,
+            char_zipf_s: 1.0,
+            default_tokens: 1_810_000, // 1.81 B / 1000
+            scale_down: 1000.0,
+            paper_chars_billion: 8.90,
+            paper_words_billion: Some(1.81),
+            paper_bytes_gb: 8.29,
+        }
+    }
+
+    /// Common Crawl n-gram corpus — "cc" (appears in Fig 1 only).
+    pub fn common_crawl() -> Self {
+        Self {
+            name: "cc",
+            language: Language::English,
+            word_types: 8_000_000,
+            zipf_s: 1.5,
+            zipf_q: 2.0,
+            char_types: 98,
+            char_zipf_s: 1.0,
+            default_tokens: 2_000_000,
+            scale_down: 1000.0,
+            paper_chars_billion: 0.0, // not tabulated in Table I
+            paper_words_billion: None,
+            paper_bytes_gb: 0.0,
+        }
+    }
+
+    /// Amazon Reviews (McAuley et al.) — "ar".
+    pub fn amazon_reviews() -> Self {
+        Self {
+            name: "ar",
+            language: Language::English,
+            word_types: 6_000_000,
+            zipf_s: 1.5625,
+            zipf_q: 4.0,
+            char_types: 98,
+            char_zipf_s: 1.0,
+            default_tokens: 7_010_000, // 7.01 B / 1000
+            scale_down: 1000.0,
+            paper_chars_billion: 38.76,
+            paper_words_billion: Some(7.01),
+            paper_bytes_gb: 37.04,
+        }
+    }
+
+    /// Baidu Tieba Chinese forum corpus — "tieba" (char-level only).
+    pub fn tieba() -> Self {
+        Self {
+            name: "tieba",
+            language: Language::Chinese,
+            word_types: 4_000_000,
+            zipf_s: 1.5625,
+            zipf_q: 3.0,
+            char_types: 15_437,
+            char_zipf_s: 1.1,
+            default_tokens: 0, // word-level LM not defined for tieba
+            scale_down: 1000.0,
+            paper_chars_billion: 34.36,
+            paper_words_billion: None,
+            paper_bytes_gb: 93.12,
+        }
+    }
+
+    /// All four Figure 1 profiles in paper order.
+    pub fn figure1_profiles() -> Vec<DatasetProfile> {
+        vec![
+            Self::one_billion(),
+            Self::gutenberg(),
+            Self::common_crawl(),
+            Self::amazon_reviews(),
+        ]
+    }
+
+    /// All Table I profiles in paper order.
+    pub fn table1_profiles() -> Vec<DatasetProfile> {
+        vec![
+            Self::one_billion(),
+            Self::gutenberg(),
+            Self::amazon_reviews(),
+            Self::tieba(),
+        ]
+    }
+
+    /// Vocabulary size for a model at the given granularity: word LMs use
+    /// the paper's 100 K truncation (§IV-A), char LMs the full alphabet.
+    pub fn model_vocab(&self, unit: TokenUnit) -> usize {
+        match unit {
+            TokenUnit::Word => 100_000.min(self.word_types),
+            TokenUnit::Char => self.char_types,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let profiles = DatasetProfile::table1_profiles();
+        assert_eq!(profiles.len(), 4);
+        let onebil = &profiles[0];
+        assert_eq!(onebil.name, "1b");
+        assert_eq!(onebil.paper_words_billion, Some(0.78));
+        assert!((onebil.paper_bytes_gb - 3.94).abs() < 1e-9);
+        let tieba = &profiles[3];
+        assert_eq!(tieba.language, Language::Chinese);
+        assert_eq!(tieba.char_types, 15_437);
+        assert!((tieba.paper_bytes_gb - 93.12).abs() < 1e-9);
+        assert!(tieba.paper_words_billion.is_none());
+    }
+
+    #[test]
+    fn figure1_has_four_english_profiles() {
+        let profiles = DatasetProfile::figure1_profiles();
+        assert_eq!(profiles.len(), 4);
+        assert!(profiles.iter().all(|p| p.language == Language::English));
+        let names: Vec<_> = profiles.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["1b", "gb", "cc", "ar"]);
+    }
+
+    #[test]
+    fn model_vocab_truncates_words_not_chars() {
+        let p = DatasetProfile::one_billion();
+        assert_eq!(p.model_vocab(TokenUnit::Word), 100_000);
+        assert_eq!(p.model_vocab(TokenUnit::Char), 98);
+        let t = DatasetProfile::tieba();
+        assert_eq!(t.model_vocab(TokenUnit::Char), 15_437);
+    }
+
+    #[test]
+    fn exponents_target_heaps_064() {
+        // 1/s should be ≈ 0.64 for the word profiles used in Fig 1 fits.
+        for p in DatasetProfile::figure1_profiles() {
+            let alpha = 1.0 / p.zipf_s;
+            assert!((alpha - 0.64).abs() < 0.04, "{}: {alpha}", p.name);
+        }
+    }
+}

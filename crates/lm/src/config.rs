@@ -1,0 +1,284 @@
+//! Training configuration.
+
+use crate::seeding::SeedStrategy;
+use corpus::DatasetProfile;
+use nn::model::{CharLmConfig, WordLmConfig};
+
+/// Which corpus profile feeds the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetId {
+    /// 1-Billion Word (the paper's main accuracy benchmark).
+    OneBillion,
+    /// Project Gutenberg.
+    Gutenberg,
+    /// Amazon Reviews (§V-D comparison).
+    AmazonReviews,
+    /// Baidu Tieba (§V-C hero run; char-level, 15 K vocabulary).
+    Tieba,
+}
+
+impl DatasetId {
+    /// The corresponding generation profile.
+    pub fn profile(&self) -> DatasetProfile {
+        match self {
+            DatasetId::OneBillion => DatasetProfile::one_billion(),
+            DatasetId::Gutenberg => DatasetProfile::gutenberg(),
+            DatasetId::AmazonReviews => DatasetProfile::amazon_reviews(),
+            DatasetId::Tieba => DatasetProfile::tieba(),
+        }
+    }
+}
+
+/// Which model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Word LM with the default small architecture at the given
+    /// vocabulary (§IV-B's LSTM model, scaled down).
+    Word {
+        /// Model vocabulary incl. UNK.
+        vocab: usize,
+    },
+    /// Char LM with the default small architecture (§IV-B's RHN model,
+    /// scaled down).
+    Char {
+        /// Alphabet size.
+        vocab: usize,
+    },
+    /// Word LM with explicit dimensions.
+    WordCustom(WordLmConfig),
+    /// Char LM with explicit dimensions.
+    CharCustom(CharLmConfig),
+}
+
+impl ModelKind {
+    /// True for the word-LM variants (which use sampled softmax and the
+    /// seeding technique).
+    pub fn is_word(&self) -> bool {
+        matches!(self, ModelKind::Word { .. } | ModelKind::WordCustom(_))
+    }
+
+    /// Resolved word-LM config (panics for char kinds).
+    pub fn word_config(&self) -> WordLmConfig {
+        match self {
+            ModelKind::Word { vocab } => WordLmConfig::small(*vocab),
+            ModelKind::WordCustom(c) => *c,
+            _ => panic!("not a word model"),
+        }
+    }
+
+    /// Resolved char-LM config (panics for word kinds).
+    pub fn char_config(&self) -> CharLmConfig {
+        match self {
+            ModelKind::Char { vocab } => CharLmConfig::small(*vocab),
+            ModelKind::CharCustom(c) => *c,
+            _ => panic!("not a char model"),
+        }
+    }
+
+    /// Approximate FLOPs per training step per GPU for a local batch of
+    /// `k` tokens (forward ≈ ⅓, backward ≈ ⅔ — the usual 3× rule).
+    pub fn flops_per_step(&self, k: usize) -> f64 {
+        let per_token = match self {
+            ModelKind::Word { .. } | ModelKind::WordCustom(_) => {
+                let c = self.word_config();
+                let lstm = 2.0 * (c.embed_dim as f64 + c.hidden as f64) * (4 * c.hidden) as f64;
+                let proj = 2.0 * c.hidden as f64 * c.proj_dim as f64;
+                let softmax = 2.0 * (c.samples + 1) as f64 * c.proj_dim as f64;
+                lstm + proj + softmax
+            }
+            ModelKind::Char { .. } | ModelKind::CharCustom(_) => {
+                let c = self.char_config();
+                let input = 2.0 * 2.0 * c.embed_dim as f64 * c.hidden as f64;
+                let rec = 2.0 * 2.0 * c.depth as f64 * (c.hidden as f64).powi(2);
+                let out = 2.0 * c.hidden as f64 * c.vocab as f64;
+                input + rec + out
+            }
+        };
+        3.0 * per_token * k as f64
+    }
+
+    /// GPU utilisation fraction the paper measured for this model class
+    /// (40 % word — "2.44 TFLOP/sec (40% of peak)", 64 % char).
+    pub fn utilization(&self) -> f64 {
+        if self.is_word() {
+            0.40
+        } else {
+            0.64
+        }
+    }
+}
+
+/// The optimizer stack of §III, applied cumulatively like Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Method {
+    /// Uniqueness (§III-A) for both embedding exchanges.
+    pub unique: bool,
+    /// Seed-sharing strategy (§III-B) for sampled softmax (word LM only).
+    pub seeding: SeedStrategy,
+    /// FP16 compression scale (§III-C), if enabled.
+    pub compression: Option<f32>,
+}
+
+impl Method {
+    /// The paper's baseline: dense ALLGATHER, per-GPU seeds, FP32 wire.
+    pub fn baseline() -> Self {
+        Self {
+            unique: false,
+            seeding: SeedStrategy::PerGpu,
+            compression: None,
+        }
+    }
+
+    /// Baseline + uniqueness.
+    pub fn unique() -> Self {
+        Self {
+            unique: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// Uniqueness + Zipf-frequency seeding.
+    pub fn unique_seeded() -> Self {
+        Self {
+            unique: true,
+            seeding: SeedStrategy::ZipfFreq,
+            compression: None,
+        }
+    }
+
+    /// All three techniques (the "+compression" bar of Figure 6).
+    pub fn full() -> Self {
+        Self {
+            unique: true,
+            seeding: SeedStrategy::ZipfFreq,
+            compression: Some(512.0),
+        }
+    }
+
+    /// Figure 6's cumulative stack in order.
+    pub fn figure6_stack() -> Vec<(&'static str, Method)> {
+        vec![
+            ("baseline", Method::baseline()),
+            ("+uniqueness", Method::unique()),
+            ("+seeding", Method::unique_seeded()),
+            ("+compression", Method::full()),
+        ]
+    }
+}
+
+/// Everything `train` needs.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Model to train.
+    pub model: ModelKind,
+    /// Number of simulated GPUs `G`.
+    pub gpus: usize,
+    /// Sequences per GPU per step.
+    pub batch: usize,
+    /// Tokens per sequence (the paper's `c`).
+    pub seq_len: usize,
+    /// Steps per epoch; 0 = run the whole shard every epoch.
+    pub steps_per_epoch: usize,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Base learning rate (scaled by `ln(nodes)` internally, §IV-B).
+    pub base_lr: f32,
+    /// Per-epoch learning-rate decay (the paper uses 0.85–0.95).
+    pub lr_decay: f32,
+    /// Which of the paper's techniques to enable.
+    pub method: Method,
+    /// Master seed (corpus, init, sampling all derive from it).
+    pub seed: u64,
+    /// Synthetic corpus size in tokens.
+    pub tokens: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::Word { vocab: 1000 },
+            gpus: 2,
+            batch: 4,
+            seq_len: 10,
+            steps_per_epoch: 10,
+            epochs: 1,
+            base_lr: 0.5,
+            lr_decay: 0.95,
+            method: Method::unique(),
+            seed: 42,
+            tokens: 50_000,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Local batch size `K` in tokens.
+    pub fn local_batch_tokens(&self) -> usize {
+        self.batch * self.seq_len
+    }
+
+    /// Global batch size `G·K` in tokens.
+    pub fn global_batch_tokens(&self) -> usize {
+        self.gpus * self.local_batch_tokens()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_stack_is_cumulative() {
+        let stack = Method::figure6_stack();
+        assert_eq!(stack.len(), 4);
+        assert!(!stack[0].1.unique);
+        assert!(stack[1].1.unique);
+        assert_eq!(stack[1].1.seeding, SeedStrategy::PerGpu);
+        assert_eq!(stack[2].1.seeding, SeedStrategy::ZipfFreq);
+        assert!(stack[2].1.compression.is_none());
+        assert!(stack[3].1.compression.is_some());
+    }
+
+    #[test]
+    fn paper_batch_arithmetic() {
+        // §V-A: 16/32/64 GPUs with per-GPU batch 32 × seq 20 process
+        // 10240/20480/40960 tokens per iteration.
+        for (gpus, tokens) in [(16usize, 10_240usize), (32, 20_480), (64, 40_960)] {
+            let cfg = TrainConfig {
+                gpus,
+                batch: 32,
+                seq_len: 20,
+                ..Default::default()
+            };
+            assert_eq!(cfg.global_batch_tokens(), tokens);
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let m = ModelKind::Word { vocab: 1000 };
+        assert!(m.flops_per_step(200) > m.flops_per_step(100) * 1.9);
+    }
+
+    #[test]
+    fn utilization_matches_paper() {
+        assert_eq!(ModelKind::Word { vocab: 10 }.utilization(), 0.40);
+        assert_eq!(ModelKind::Char { vocab: 10 }.utilization(), 0.64);
+    }
+
+    #[test]
+    fn model_kind_resolution() {
+        let w = ModelKind::Word { vocab: 500 };
+        assert!(w.is_word());
+        assert_eq!(w.word_config().vocab, 500);
+        let c = ModelKind::Char { vocab: 98 };
+        assert!(!c.is_word());
+        assert_eq!(c.char_config().vocab, 98);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a word model")]
+    fn char_kind_rejects_word_config() {
+        ModelKind::Char { vocab: 98 }.word_config();
+    }
+}

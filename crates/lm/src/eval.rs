@@ -1,0 +1,109 @@
+//! Validation evaluation: perplexity, BPC, compression ratio.
+//!
+//! The paper reports validation perplexity (Figures 5, 7, 8; Table V),
+//! bits-per-character for the §V-D comparison, and the §V-C compression
+//! ratio metric. Evaluation always uses the *full* softmax, even for
+//! models trained with sampled softmax.
+
+use corpus::{shard_batches, BatchSpec};
+use nn::model::SeqBatch;
+use nn::{CharLm, WordLm};
+
+/// Mean validation NLL (nats) of a word LM over up to `max_batches`
+/// batches of the validation stream.
+pub fn word_valid_loss(
+    model: &WordLm,
+    tokens: &[u32],
+    batch: usize,
+    seq_len: usize,
+    max_batches: usize,
+) -> f64 {
+    mean_loss(tokens, batch, seq_len, max_batches, |b| model.eval_loss(b))
+}
+
+/// Mean validation NLL (nats) of a char LM.
+pub fn char_valid_loss(
+    model: &CharLm,
+    tokens: &[u32],
+    batch: usize,
+    seq_len: usize,
+    max_batches: usize,
+) -> f64 {
+    mean_loss(tokens, batch, seq_len, max_batches, |b| model.eval_loss(b))
+}
+
+fn mean_loss(
+    tokens: &[u32],
+    batch: usize,
+    seq_len: usize,
+    max_batches: usize,
+    mut f: impl FnMut(&SeqBatch) -> f64,
+) -> f64 {
+    assert!(max_batches >= 1);
+    let spec = BatchSpec { batch, seq_len };
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for b in shard_batches(tokens, spec, 0, 1).take(max_batches) {
+        let sb = SeqBatch::from_lane_major(&b.inputs, &b.targets, b.batch, b.seq_len);
+        total += f(&sb);
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        total / count as f64
+    }
+}
+
+/// Perplexity from mean NLL in nats.
+pub fn ppl(mean_nll: f64) -> f64 {
+    nn::softmax::perplexity(mean_nll)
+}
+
+/// Bits-per-character from mean NLL in nats.
+pub fn bpc(mean_nll: f64) -> f64 {
+    nn::softmax::bits_per_char(mean_nll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::model::{CharLmConfig, WordLmConfig};
+
+    #[test]
+    fn word_valid_loss_near_log_v_at_init() {
+        let model = WordLm::new(3, WordLmConfig::small(100));
+        let tokens: Vec<u32> = (0..2000u32).map(|i| i % 100).collect();
+        let loss = word_valid_loss(&model, &tokens, 4, 8, 5);
+        assert!((loss - (100f64).ln()).abs() < 1.0, "loss {loss}");
+        assert!((ppl(loss) - 100.0).abs() < 80.0);
+    }
+
+    #[test]
+    fn char_valid_loss_finite() {
+        let model = CharLm::new(3, CharLmConfig::small(64));
+        let tokens: Vec<u32> = (0..2000u32).map(|i| i % 64).collect();
+        let loss = char_valid_loss(&model, &tokens, 4, 8, 5);
+        assert!(loss.is_finite());
+        assert!(bpc(loss) > 0.0);
+    }
+
+    #[test]
+    fn empty_validation_is_nan() {
+        let model = CharLm::new(3, CharLmConfig::small(16));
+        let loss = char_valid_loss(&model, &[0, 1, 2], 4, 8, 5);
+        assert!(loss.is_nan());
+    }
+
+    #[test]
+    fn more_batches_stabilise_estimate() {
+        let model = CharLm::new(5, CharLmConfig::small(32));
+        let tokens: Vec<u32> = (0..20_000u32).map(|i| (i * 7) % 32).collect();
+        let a = char_valid_loss(&model, &tokens, 4, 8, 1);
+        let b = char_valid_loss(&model, &tokens, 4, 8, 20);
+        assert!(a.is_finite() && b.is_finite());
+        // Both are near ln 32; the long estimate shouldn't be wild.
+        assert!((b - (32f64).ln()).abs() < 1.0);
+        let _ = a;
+    }
+}

@@ -1,0 +1,423 @@
+//! Embedding-gradient exchange strategies — the heart of the paper.
+//!
+//! Both strategies take one GPU's token-aligned [`SparseGrad`], move it
+//! across the communicator, and apply the *synchronised* update to the
+//! local embedding table, so that all replicas hold identical tables
+//! afterwards (§II-B's invariant).
+//!
+//! * [`baseline_exchange`]: the state-of-the-art scheme the paper starts
+//!   from — ALLGATHER all `K×D` dense gradient matrices plus their index
+//!   vectors, then apply every row locally. Per-GPU memory and wire cost
+//!   `Θ(G·K·D)`.
+//! * [`unique_exchange`]: §III-A's seven steps — local duplicate
+//!   reduction, index-only ALLGATHER, global unique-index set, local
+//!   scatter into canonical rows, ALLREDUCE of the `Ug×D` matrix, apply.
+//!   Per-GPU cost `Θ(G·K + Ug·D)`.
+//!
+//! Either path can run with FP16 wire compression (§III-C).
+
+use nn::{Embedding, SparseGrad};
+use simgpu::Rank;
+
+/// How to run an exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeConfig {
+    /// Use the uniqueness technique (§III-A) instead of dense ALLGATHER.
+    pub unique: bool,
+    /// FP16 wire compression with this scaling factor (§III-C), if any.
+    pub compression: Option<f32>,
+}
+
+impl ExchangeConfig {
+    /// The paper's baseline.
+    pub fn baseline() -> Self {
+        Self {
+            unique: false,
+            compression: None,
+        }
+    }
+
+    /// Uniqueness only.
+    pub fn unique() -> Self {
+        Self {
+            unique: true,
+            compression: None,
+        }
+    }
+
+    /// Uniqueness + FP16 compression at the paper's default scale.
+    pub fn unique_compressed() -> Self {
+        Self {
+            unique: true,
+            compression: Some(512.0),
+        }
+    }
+}
+
+/// What one exchange cost this rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeStats {
+    /// Gradient rows this rank contributed (`K`, with duplicates).
+    pub local_tokens: usize,
+    /// Locally-unique words (`Ui`) — only set by the unique path.
+    pub unique_local: usize,
+    /// Globally-unique words this step (`Ug`) — only set by the unique
+    /// path.
+    pub unique_global: usize,
+    /// Bytes this rank put on the wire.
+    pub wire_bytes: u64,
+    /// Peak transient buffer bytes this rank needed to hold gathered /
+    /// scattered gradient state (the quantity that runs GPUs out of
+    /// memory in Tables III/IV).
+    pub peak_buffer_bytes: u64,
+}
+
+/// Dispatches on `cfg` to one of the two exchange implementations.
+pub fn exchange_and_apply(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    cfg: &ExchangeConfig,
+) -> ExchangeStats {
+    if cfg.unique {
+        unique_exchange(rank, grad, table, lr, cfg.compression)
+    } else {
+        baseline_exchange(rank, grad, table, lr, cfg.compression)
+    }
+}
+
+/// The baseline dense exchange (§II-B): ALLGATHER of indices and full
+/// `K×D` gradients from every GPU, then sequential local application in
+/// rank order (deterministic, so all replicas stay identical).
+pub fn baseline_exchange(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+) -> ExchangeStats {
+    let g = rank.world();
+    let d = table.dim();
+    let n_local = grad.indices.len();
+
+    let all_indices = rank.all_gather_u32(&grad.indices);
+    let all_rows = match compression {
+        Some(scale) => rank.all_gather_f16(grad.rows.as_slice(), scale),
+        None => rank.all_gather_f32(grad.rows.as_slice()),
+    };
+    debug_assert_eq!(all_rows.len(), all_indices.len() * d);
+
+    // Apply every gathered row in (rank, token) order. Repeated indices
+    // accumulate — this is the serialised scatter-add the paper
+    // describes, complete with its duplicate-row hazard.
+    for (i, &idx) in all_indices.iter().enumerate() {
+        let row = &all_rows[i * d..(i + 1) * d];
+        let dst = table.weights_mut().row_mut(idx as usize);
+        for (w, &v) in dst.iter_mut().zip(row) {
+            *w -= lr * v;
+        }
+    }
+
+    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
+    let wire_bytes = (n_local as u64) * (d as u64) * elem_bytes * (g as u64 - 1)
+        + (n_local as u64) * 4 * (g as u64 - 1);
+    // The gathered buffers live simultaneously: G·K indices + G·K·D rows.
+    let total_rows = all_indices.len() as u64;
+    let peak_buffer_bytes = total_rows * 4 + total_rows * (d as u64) * 4;
+
+    ExchangeStats {
+        local_tokens: n_local,
+        unique_local: 0,
+        unique_global: 0,
+        wire_bytes,
+        peak_buffer_bytes,
+    }
+}
+
+/// The uniqueness exchange — §III-A, steps 1–7.
+pub fn unique_exchange(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+) -> ExchangeStats {
+    let g = rank.world();
+    let d = table.dim();
+    let n_local = grad.indices.len();
+
+    // Steps 1–2: local unique indices Ĵ and locally-reduced gradients ∆̂.
+    let reduced = grad.local_reduce();
+    let u_local = reduced.indices.len();
+
+    // Step 3: ALLGATHER the *index* vectors J (Θ(G·K), not Θ(G·K·D)).
+    let all_indices = rank.all_gather_u32(&grad.indices);
+
+    // Step 4: filter to the globally-unique, totally-ordered index set Î.
+    // Sorting gives the total order, so every rank derives the identical
+    // slot assignment without further communication.
+    let mut unique: Vec<u32> = all_indices.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    let u_global = unique.len();
+
+    // Step 5: scatter ∆̂ into the canonical Ug×D layout M (zeros filled).
+    let mut m = vec![0.0f32; u_global * d];
+    for (i, &idx) in reduced.indices.iter().enumerate() {
+        let slot = unique.binary_search(&idx).expect("local index missing from global set");
+        m[slot * d..(slot + 1) * d].copy_from_slice(reduced.rows.row(i));
+    }
+
+    // Step 6: ALLREDUCE the aligned matrices.
+    match compression {
+        Some(scale) => rank.all_reduce_sum_f16(&mut m, scale),
+        None => rank.all_reduce_sum(&mut m),
+    }
+
+    // Step 7: apply M̂ through Î. Indices are unique ⇒ no duplicate-row
+    // serialisation.
+    for (slot, &idx) in unique.iter().enumerate() {
+        let dst = table.weights_mut().row_mut(idx as usize);
+        for (w, &v) in dst.iter_mut().zip(&m[slot * d..(slot + 1) * d]) {
+            *w -= lr * v;
+        }
+    }
+
+    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
+    // Index gather: K·4·(G−1); ring allreduce: 2(G−1)/G · Ug·D·elem.
+    let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1)
+        + (2 * (g as u64 - 1) * (u_global as u64) * (d as u64) * elem_bytes) / (g as u64).max(1);
+    // Buffers: G·K gathered indices + Ug·D scatter matrix.
+    let peak_buffer_bytes = (all_indices.len() as u64) * 4 + (u_global as u64) * (d as u64) * 4;
+
+    ExchangeStats {
+        local_tokens: n_local,
+        unique_local: u_local,
+        unique_global: u_global,
+        wire_bytes,
+        peak_buffer_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use simgpu::CommGroup;
+    use tensor::Matrix;
+
+    const D: usize = 4;
+    const VOCAB: usize = 50;
+
+    fn make_table(seed: u64) -> Embedding {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Embedding::new(&mut rng, VOCAB, D)
+    }
+
+    fn make_grad(seed: u64, n: usize) -> SparseGrad {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let indices: Vec<u32> = (0..n).map(|_| rng.gen_range(0..VOCAB as u32)).collect();
+        let rows = Matrix::from_vec(
+            n,
+            D,
+            (0..n * D).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        SparseGrad { indices, rows }
+    }
+
+    /// Runs `f` on every rank; returns per-rank results.
+    fn run_group<T: Send>(world: usize, f: impl Fn(Rank) -> T + Sync) -> Vec<T> {
+        let ranks = CommGroup::create(world);
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranks
+                .into_iter()
+                .map(|rank| {
+                    let f = &f;
+                    s.spawn(move || f(rank))
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    fn exchange_result(world: usize, cfg: ExchangeConfig) -> Vec<(Matrix, ExchangeStats)> {
+        run_group(world, |rank| {
+            let mut table = make_table(7);
+            let grad = make_grad(100 + rank.rank() as u64, 12);
+            let stats = exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
+            (table.weights().clone(), stats)
+        })
+    }
+
+    #[test]
+    fn baseline_keeps_replicas_identical() {
+        for world in [1usize, 2, 4] {
+            let res = exchange_result(world, ExchangeConfig::baseline());
+            for r in 1..world {
+                assert_eq!(
+                    res[0].0.as_slice(),
+                    res[r].0.as_slice(),
+                    "world {world} rank {r} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_keeps_replicas_identical() {
+        for world in [1usize, 2, 4, 6] {
+            let res = exchange_result(world, ExchangeConfig::unique());
+            for r in 1..world {
+                assert_eq!(res[0].0.as_slice(), res[r].0.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn unique_matches_baseline_result() {
+        // THE paper's correctness claim: uniqueness "only changes the
+        // flow of computation … and hence produces the same accuracy as
+        // the baseline" — the updated tables must agree (up to f32
+        // summation order).
+        for world in [1usize, 2, 4] {
+            let base = exchange_result(world, ExchangeConfig::baseline());
+            let uniq = exchange_result(world, ExchangeConfig::unique());
+            let diff = base[0].0.max_abs_diff(&uniq[0].0);
+            assert!(diff < 1e-5, "world {world}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn compressed_unique_close_to_exact() {
+        let world = 4;
+        let exact = exchange_result(world, ExchangeConfig::unique());
+        let comp = exchange_result(
+            world,
+            ExchangeConfig {
+                unique: true,
+                compression: Some(512.0),
+            },
+        );
+        let diff = exact[0].0.max_abs_diff(&comp[0].0);
+        assert!(diff > 0.0, "compression should not be bit-exact");
+        assert!(diff < 5e-3, "diff {diff}");
+        // Compressed replicas still identical to each other.
+        for r in 1..world {
+            assert_eq!(comp[0].0.as_slice(), comp[r].0.as_slice());
+        }
+    }
+
+    #[test]
+    fn compressed_baseline_close_to_exact() {
+        let world = 3;
+        let exact = exchange_result(world, ExchangeConfig::baseline());
+        let comp = exchange_result(
+            world,
+            ExchangeConfig {
+                unique: false,
+                compression: Some(512.0),
+            },
+        );
+        let diff = exact[0].0.max_abs_diff(&comp[0].0);
+        assert!(diff < 5e-3, "diff {diff}");
+    }
+
+    #[test]
+    fn unique_stats_report_compression_of_duplicates() {
+        // All ranks submit the same few hot words: Ug ≪ G·K.
+        let world = 4;
+        let res = run_group(world, |rank| {
+            let mut table = make_table(1);
+            let grad = SparseGrad {
+                indices: vec![3, 3, 7, 3, 7, 3],
+                rows: Matrix::zeros(6, D),
+            };
+            exchange_and_apply(&rank, &grad, &mut table, 0.1, &ExchangeConfig::unique())
+        });
+        for s in &res {
+            assert_eq!(s.local_tokens, 6);
+            assert_eq!(s.unique_local, 2);
+            assert_eq!(s.unique_global, 2); // same hot words everywhere
+        }
+    }
+
+    #[test]
+    fn unique_moves_fewer_bytes_when_duplicates_dominate() {
+        let world = 4;
+        // 64 tokens over only 5 distinct hot words per rank.
+        let cfg_b = ExchangeConfig::baseline();
+        let cfg_u = ExchangeConfig::unique();
+        let mk = |rank: &Rank, cfg: &ExchangeConfig| {
+            let mut table = make_table(2);
+            let mut rng = StdRng::seed_from_u64(rank.rank() as u64);
+            let indices: Vec<u32> = (0..64).map(|_| rng.gen_range(0..5)).collect();
+            let n = indices.len();
+            let grad = SparseGrad {
+                indices,
+                rows: Matrix::zeros(n, D),
+            };
+            exchange_and_apply(rank, &grad, &mut table, 0.1, cfg)
+        };
+        let base = run_group(world, |rank| mk(&rank, &cfg_b));
+        let uniq = run_group(world, |rank| mk(&rank, &cfg_u));
+        assert!(
+            uniq[0].wire_bytes * 3 < base[0].wire_bytes,
+            "unique {} vs baseline {}",
+            uniq[0].wire_bytes,
+            base[0].wire_bytes
+        );
+        assert!(uniq[0].peak_buffer_bytes * 3 < base[0].peak_buffer_bytes);
+    }
+
+    #[test]
+    fn baseline_buffer_grows_linearly_with_world() {
+        let grab = |world: usize| {
+            run_group(world, |rank| {
+                let mut table = make_table(3);
+                let grad = make_grad(rank.rank() as u64, 16);
+                baseline_exchange(&rank, &grad, &mut table, 0.1, None)
+            })[0]
+            .peak_buffer_bytes
+        };
+        let b2 = grab(2);
+        let b4 = grab(4);
+        assert_eq!(b4, b2 * 2, "baseline buffer must scale with G");
+    }
+
+    #[test]
+    fn unique_buffer_saturates_with_world() {
+        // With a tiny hot vocabulary, Ug saturates, so the Ug·D term
+        // stops growing; only the G·K index buffer grows.
+        let grab = |world: usize| {
+            run_group(world, |rank| {
+                let mut table = make_table(3);
+                let mut rng = StdRng::seed_from_u64(rank.rank() as u64);
+                let indices: Vec<u32> = (0..64).map(|_| rng.gen_range(0..5)).collect();
+                let n = indices.len();
+                let grad = SparseGrad {
+                    indices,
+                    rows: Matrix::zeros(n, D),
+                };
+                unique_exchange(&rank, &grad, &mut table, 0.1, None)
+            })[0]
+        };
+        let s2 = grab(2);
+        let s8 = grab(8);
+        assert_eq!(s2.unique_global, 5);
+        assert_eq!(s8.unique_global, 5);
+        // Buffer grows only by the index term: 6·64·4 bytes.
+        assert_eq!(s8.peak_buffer_bytes - s2.peak_buffer_bytes, 6 * 64 * 4);
+    }
+
+    #[test]
+    fn single_gpu_exchange_is_pure_local_update() {
+        let res = exchange_result(1, ExchangeConfig::unique());
+        assert_eq!(res[0].1.wire_bytes, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # zipf-lm — Language Modeling at Scale
+//!
+//! Rust reproduction of *"Language Modeling at Scale"* (Patwary, Chabbi,
+//! Jun, Huang, Diamos, Church — Baidu SVAIL, IPPS 2019, arXiv:1810.10045):
+//! scaling data-parallel RNN language-model training by exploiting Zipf's
+//! law in the embedding-layer gradient exchange.
+//!
+//! ## The three techniques
+//!
+//! 1. **Uniqueness** ([`exchange`], §III-A) — the baseline exchanges dense
+//!    `K×D` embedding gradients with an ALLGATHER costing `Θ(G·K·D)`
+//!    memory and wire bytes per GPU. Because tokens repeat (Zipf), the
+//!    set of *unique* words per step is only `Ug ∝ (G·K)^0.64`, so the
+//!    exchange can instead gather indices (`Θ(G·K)`), canonicalise them,
+//!    and ALLREDUCE a `Ug×D` matrix: `Θ(G·K + Ug·D)` total.
+//! 2. **Seeding** ([`seeding`], §III-B) — sampled softmax draws random
+//!    candidate words per GPU, destroying cross-GPU overlap. Sharing
+//!    seeds among GPU groups (only `G^0.64` distinct seeds are needed)
+//!    restores the Zipfian overlap with negligible accuracy cost.
+//! 3. **Compression** ([`exchange`] + `simgpu`'s FP16 collectives,
+//!    §III-C) — FP32→FP16 wire compression with compression-scaling
+//!    halves communication volume.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use zipf_lm::{TrainConfig, ModelKind, Method, train};
+//! use zipf_lm::seeding::SeedStrategy;
+//!
+//! let cfg = TrainConfig {
+//!     model: ModelKind::Word { vocab: 500 },
+//!     gpus: 2,
+//!     batch: 4,
+//!     seq_len: 8,
+//!     steps_per_epoch: 5,
+//!     epochs: 1,
+//!     base_lr: 0.5,
+//!     lr_decay: 0.95,
+//!     method: Method::unique(),
+//!     seed: 42,
+//!     tokens: 20_000,
+//! };
+//! let report = train(&cfg).expect("training runs");
+//! assert!(report.epochs[0].train_loss.is_finite());
+//! ```
+
+pub mod config;
+pub mod eval;
+pub mod exchange;
+pub mod metrics;
+pub mod seeding;
+pub mod trainer;
+
+pub use config::{Method, ModelKind, TrainConfig};
+pub use exchange::{exchange_and_apply, ExchangeConfig, ExchangeStats};
+pub use metrics::{EpochMetrics, StepMetrics, TrainReport};
+pub use seeding::SeedStrategy;
+pub use trainer::{train, train_with_memory_limit, TrainError};

@@ -1,0 +1,133 @@
+//! Training metrics and reports.
+
+use crate::exchange::ExchangeStats;
+use simgpu::TrafficSnapshot;
+
+/// Per-step measurements (collected on rank 0; all ranks agree on the
+/// synchronised quantities).
+#[derive(Debug, Clone, Default)]
+pub struct StepMetrics {
+    /// Global step index.
+    pub step: u64,
+    /// Mean training loss across GPUs (nats).
+    pub train_loss: f64,
+    /// Simulated wall-clock seconds for this step (compute + comm on the
+    /// Table II hardware model).
+    pub sim_time_s: f64,
+    /// Input-embedding exchange statistics.
+    pub input_exchange: ExchangeStats,
+    /// Output-embedding exchange statistics (word LM only).
+    pub output_exchange: Option<ExchangeStats>,
+    /// Bytes this rank moved for the dense (RNN/projection) ALLREDUCE.
+    pub dense_bytes: u64,
+}
+
+/// Per-epoch summary.
+#[derive(Debug, Clone, Default)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch (nats).
+    pub train_loss: f64,
+    /// Validation perplexity at epoch end.
+    pub valid_ppl: f64,
+    /// Validation bits-per-token at epoch end.
+    pub valid_bpc: f64,
+    /// Simulated seconds for the epoch.
+    pub sim_time_s: f64,
+}
+
+/// Result of a full training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-epoch summaries.
+    pub epochs: Vec<EpochMetrics>,
+    /// Per-step detail.
+    pub steps: Vec<StepMetrics>,
+    /// Peak simulated device memory over all ranks (bytes).
+    pub peak_mem_bytes: u64,
+    /// Total communicator traffic over the run.
+    pub traffic: TrafficSnapshot,
+    /// Number of GPUs used.
+    pub gpus: usize,
+    /// Mean globally-unique words per step (`Ug`), if the unique path
+    /// ran.
+    pub mean_unique_global: f64,
+}
+
+impl TrainReport {
+    /// Final validation perplexity.
+    pub fn final_ppl(&self) -> f64 {
+        self.epochs.last().map(|e| e.valid_ppl).unwrap_or(f64::NAN)
+    }
+
+    /// Total simulated seconds across epochs.
+    pub fn total_sim_time(&self) -> f64 {
+        self.epochs.iter().map(|e| e.sim_time_s).sum()
+    }
+
+    /// Mean wire bytes per step across the run.
+    pub fn mean_step_bytes(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .steps
+            .iter()
+            .map(|s| {
+                s.dense_bytes
+                    + s.input_exchange.wire_bytes
+                    + s.output_exchange.map(|e| e.wire_bytes).unwrap_or(0)
+            })
+            .sum();
+        total as f64 / self.steps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = TrainReport::default();
+        assert!(r.final_ppl().is_nan());
+        r.epochs.push(EpochMetrics {
+            epoch: 0,
+            valid_ppl: 120.0,
+            sim_time_s: 10.0,
+            ..Default::default()
+        });
+        r.epochs.push(EpochMetrics {
+            epoch: 1,
+            valid_ppl: 80.0,
+            sim_time_s: 9.0,
+            ..Default::default()
+        });
+        assert_eq!(r.final_ppl(), 80.0);
+        assert_eq!(r.total_sim_time(), 19.0);
+    }
+
+    #[test]
+    fn mean_step_bytes() {
+        let mut r = TrainReport::default();
+        assert_eq!(r.mean_step_bytes(), 0.0);
+        r.steps.push(StepMetrics {
+            dense_bytes: 100,
+            input_exchange: ExchangeStats {
+                wire_bytes: 50,
+                ..Default::default()
+            },
+            output_exchange: Some(ExchangeStats {
+                wire_bytes: 30,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        r.steps.push(StepMetrics {
+            dense_bytes: 20,
+            ..Default::default()
+        });
+        assert_eq!(r.mean_step_bytes(), 100.0);
+    }
+}

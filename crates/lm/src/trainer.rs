@@ -1,0 +1,642 @@
+//! The distributed trainer: synchronous data-parallel SGD over simulated
+//! GPUs, with the paper's exchange stack in the loop.
+//!
+//! One OS thread per simulated GPU (mirroring the paper's one-GPU-per-
+//! MPI-process setup). Every step:
+//!
+//! 1. each rank draws its shard's next batch and runs forward/backward;
+//! 2. dense gradients (LSTM/RHN + projection) are ring-ALLREDUCEd and
+//!    averaged — the part vision models already do well (§II-B);
+//! 3. the input-embedding sparse gradient crosses via the configured
+//!    [`ExchangeConfig`] (baseline ALLGATHER vs uniqueness);
+//! 4. word LMs also exchange the output-embedding gradient, whose
+//!    candidate sets were drawn under the configured [`SeedStrategy`];
+//! 5. transient exchange buffers are charged against the simulated
+//!    device memory (this is where the baseline OOMs, Tables III/IV);
+//! 6. simulated wall-clock time is accumulated from the α–β cost model.
+//!
+//! OOM behaviour is symmetric: buffer sizes are identical on every rank
+//! at the same step, so either all ranks fail together (no deadlock) or
+//! none do.
+
+use crate::config::{DatasetId, ModelKind, TrainConfig};
+use crate::eval::{char_valid_loss, word_valid_loss};
+use crate::exchange::{exchange_and_apply, ExchangeConfig, ExchangeStats};
+use crate::metrics::{EpochMetrics, StepMetrics, TrainReport};
+use corpus::{shard_batches, train_valid_split, BatchSpec, CorpusGenerator, TokenUnit, Vocab};
+use nn::model::SeqBatch;
+use nn::optimizer::scaled_lr;
+use nn::{CharLm, WordLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simgpu::{CommGroup, CostModel, Device, HardwareConfig, OomError, Rank};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a training run failed.
+#[derive(Debug, Clone)]
+pub enum TrainError {
+    /// A simulated device ran out of memory (the paper's `*` entries).
+    Oom(OomError),
+    /// The corpus shard is too small for even one batch.
+    DataTooSmall {
+        /// Tokens available per GPU shard.
+        shard_tokens: usize,
+        /// Tokens needed for one step.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Oom(e) => write!(f, "{e}"),
+            TrainError::DataTooSmall { shard_tokens, needed } => write!(
+                f,
+                "shard too small: {shard_tokens} tokens, need at least {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Maximum validation batches evaluated per epoch (the full validation
+/// stream is used when it is smaller).
+const EVAL_BATCHES: usize = 48;
+
+/// Simulated device capacity. Experiments that probe OOM behaviour use
+/// [`train_with_memory_limit`]; plain [`train`] runs unconstrained.
+const UNLIMITED: u64 = u64::MAX / 4;
+
+/// Trains per `cfg` on unconstrained simulated devices.
+pub fn train(cfg: &TrainConfig) -> Result<TrainReport, TrainError> {
+    train_with_memory_limit(cfg, UNLIMITED)
+}
+
+/// Trains per `cfg` with each simulated GPU capped at `gpu_mem_bytes` —
+/// used to reproduce the baseline's OOM cliffs in miniature.
+pub fn train_with_memory_limit(
+    cfg: &TrainConfig,
+    gpu_mem_bytes: u64,
+) -> Result<TrainReport, TrainError> {
+    assert!(cfg.gpus >= 1 && cfg.epochs >= 1);
+    let (train_tokens, valid_tokens, model_vocab) = prepare_data(cfg);
+    let train_tokens = Arc::new(train_tokens);
+    let valid_tokens = Arc::new(valid_tokens);
+
+    let spec = BatchSpec {
+        batch: cfg.batch,
+        seq_len: cfg.seq_len,
+    };
+    let shard_tokens = train_tokens.len() / cfg.gpus;
+    let needed = cfg.batch * (cfg.seq_len + 1);
+    if shard_tokens < needed {
+        return Err(TrainError::DataTooSmall {
+            shard_tokens,
+            needed,
+        });
+    }
+
+    let cost = CostModel::new(
+        HardwareConfig::titan_x_cluster(),
+        cfg.model.utilization(),
+    );
+    let devices: Vec<Arc<Device>> = (0..cfg.gpus)
+        .map(|i| Device::new(i, gpu_mem_bytes))
+        .collect();
+    let ranks = CommGroup::create(cfg.gpus);
+
+    let mut results: Vec<Option<Result<RankOutput, TrainError>>> =
+        (0..cfg.gpus).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|rank| {
+                let device = Arc::clone(&devices[rank.rank()]);
+                let train_tokens = Arc::clone(&train_tokens);
+                let valid_tokens = Arc::clone(&valid_tokens);
+                let cost = cost.clone();
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    run_rank(
+                        rank,
+                        device,
+                        &cfg,
+                        model_vocab,
+                        spec,
+                        &train_tokens,
+                        &valid_tokens,
+                        &cost,
+                    )
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+
+    let peak_mem = devices.iter().map(|d| d.peak()).max().unwrap_or(0);
+    let mut rank0 = results[0].take().unwrap()?;
+    // Propagate any other rank's error (symmetric OOM means rank 0 saw
+    // it too, but be defensive).
+    for r in results.into_iter().flatten() {
+        r?;
+    }
+    rank0.report.peak_mem_bytes = peak_mem;
+    rank0.report.gpus = cfg.gpus;
+    Ok(rank0.report)
+}
+
+/// Sequential-structure strength of the synthetic corpora: with this
+/// probability a token is the deterministic successor of its context
+/// (see `corpus::CorpusGenerator::with_structure`). Nonzero so that
+/// "more data ⇒ better perplexity" holds, as on real text.
+const STRUCTURE_LAMBDA: f64 = 0.5;
+
+/// Generates and splits the corpus; returns the effective model
+/// vocabulary (word LMs may shrink if the corpus has fewer types than
+/// requested).
+fn prepare_data(cfg: &TrainConfig) -> (Vec<u32>, Vec<u32>, usize) {
+    match cfg.model {
+        ModelKind::Word { .. } | ModelKind::WordCustom(_) => {
+            let requested = cfg.model.word_config().vocab;
+            let profile = DatasetId::OneBillion.profile();
+            let mut gen = CorpusGenerator::new(&profile, TokenUnit::Word, cfg.seed)
+                .with_structure(STRUCTURE_LAMBDA);
+            let raw = gen.generate(cfg.tokens);
+            let vocab = Vocab::build(&raw, requested.saturating_sub(1).max(1));
+            let encoded = vocab.encode(&raw);
+            let (train, valid) = train_valid_split(&encoded, 100, cfg.seed ^ SPLIT_SEED);
+            (train, valid, vocab.size())
+        }
+        ModelKind::Char { .. } | ModelKind::CharCustom(_) => {
+            let vocab = cfg.model.char_config().vocab;
+            let mut profile = if vocab > 1000 {
+                DatasetId::Tieba.profile()
+            } else {
+                DatasetId::OneBillion.profile()
+            };
+            profile.char_types = vocab;
+            let mut gen = CorpusGenerator::new(&profile, TokenUnit::Char, cfg.seed)
+                .with_structure(STRUCTURE_LAMBDA);
+            let raw = gen.generate(cfg.tokens);
+            let (train, valid) = train_valid_split(&raw, 100, cfg.seed ^ SPLIT_SEED);
+            (train, valid, vocab)
+        }
+    }
+}
+
+/// One rank's training replica: either model kind behind one interface.
+enum Replica {
+    Word(WordLm),
+    Char(CharLm),
+}
+
+struct StepOutcome {
+    loss: f64,
+    dense: Vec<f32>,
+    input_grad: nn::SparseGrad,
+    output_grad: Option<nn::SparseGrad>,
+}
+
+impl Replica {
+    fn new(cfg: &TrainConfig, model_vocab: usize) -> Self {
+        match cfg.model {
+            ModelKind::Word { .. } | ModelKind::WordCustom(_) => {
+                let mut mc = cfg.model.word_config();
+                mc.vocab = model_vocab;
+                mc.samples = mc.samples.min(model_vocab / 2).max(1);
+                Replica::Word(WordLm::new(cfg.seed, mc))
+            }
+            ModelKind::Char { .. } | ModelKind::CharCustom(_) => {
+                Replica::Char(CharLm::new(cfg.seed, cfg.model.char_config()))
+            }
+        }
+    }
+
+    fn step(&self, batch: &SeqBatch, sample_seed: u64) -> StepOutcome {
+        match self {
+            Replica::Word(m) => {
+                let mut rng = StdRng::seed_from_u64(sample_seed);
+                let g = m.forward_backward(batch, &mut rng);
+                StepOutcome {
+                    loss: g.loss,
+                    dense: g.dense,
+                    input_grad: g.input_grad,
+                    output_grad: Some(g.output_grad),
+                }
+            }
+            Replica::Char(m) => {
+                let g = m.forward_backward(batch);
+                StepOutcome {
+                    loss: g.loss,
+                    dense: g.dense,
+                    input_grad: g.input_grad,
+                    output_grad: None,
+                }
+            }
+        }
+    }
+
+    fn apply_dense(&mut self, flat: &[f32], lr: f32) {
+        match self {
+            Replica::Word(m) => m.apply_dense(flat, lr),
+            Replica::Char(m) => m.apply_dense(flat, lr),
+        }
+    }
+
+    fn input_table(&mut self) -> &mut nn::Embedding {
+        match self {
+            Replica::Word(m) => m.input_embedding_mut(),
+            Replica::Char(m) => m.input_embedding_mut(),
+        }
+    }
+
+    fn output_table(&mut self) -> Option<&mut nn::Embedding> {
+        match self {
+            Replica::Word(m) => Some(m.output_embedding_mut()),
+            Replica::Char(_) => None,
+        }
+    }
+
+    fn embed_dim(&self) -> usize {
+        match self {
+            Replica::Word(m) => m.config().embed_dim,
+            Replica::Char(m) => m.config().embed_dim,
+        }
+    }
+
+    fn param_bytes(&self) -> u64 {
+        let params = match self {
+            Replica::Word(m) => {
+                let c = m.config();
+                m.dense_param_count() + c.vocab * (c.embed_dim + c.proj_dim)
+            }
+            Replica::Char(m) => {
+                let c = m.config();
+                m.dense_param_count() + c.vocab * c.embed_dim
+            }
+        };
+        // Parameters + gradients + optimizer scratch, FP32.
+        (params as u64) * 4 * 3
+    }
+
+    fn valid_loss(&self, tokens: &[u32], batch: usize, seq_len: usize) -> f64 {
+        match self {
+            Replica::Word(m) => word_valid_loss(m, tokens, batch, seq_len, EVAL_BATCHES),
+            Replica::Char(m) => char_valid_loss(m, tokens, batch, seq_len, EVAL_BATCHES),
+        }
+    }
+}
+
+struct RankOutput {
+    report: TrainReport,
+}
+
+/// Simulated time of one exchange on the cost model.
+fn exchange_time(
+    cost: &CostModel,
+    stats: &ExchangeStats,
+    cfg: &ExchangeConfig,
+    gpus: usize,
+    dim: usize,
+) -> f64 {
+    let elem: u64 = if cfg.compression.is_some() { 2 } else { 4 };
+    if cfg.unique {
+        // Index ALLGATHER + Ug×D ALLREDUCE + local table touch.
+        cost.allgather_time(stats.local_tokens as u64 * 4, gpus)
+            + cost.allreduce_time(stats.unique_global as u64 * dim as u64 * elem, gpus)
+            + cost.memory_touch_time(stats.unique_global as u64 * dim as u64 * 4)
+    } else {
+        // Dense ALLGATHER of K×D rows + indices, then a Θ(G·K·D) local
+        // update touch.
+        cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus)
+            + cost.memory_touch_time(
+                gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4,
+            )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    rank: Rank,
+    device: Arc<Device>,
+    cfg: &TrainConfig,
+    model_vocab: usize,
+    spec: BatchSpec,
+    train_tokens: &[u32],
+    valid_tokens: &[u32],
+    cost: &CostModel,
+) -> Result<RankOutput, TrainError> {
+    let g = cfg.gpus;
+    let r = rank.rank();
+    let is_rank0 = r == 0;
+    let mut replica = Replica::new(cfg, model_vocab);
+    let xcfg = ExchangeConfig {
+        unique: cfg.method.unique,
+        compression: cfg.method.compression,
+    };
+    let hw_gpus_per_node = cost.hardware().gpus_per_node;
+    let mut lr = scaled_lr(cfg.base_lr, g, hw_gpus_per_node);
+
+    // Persistent model memory.
+    let _model_alloc = device
+        .try_alloc(replica.param_bytes())
+        .map_err(TrainError::Oom)?;
+
+    let mut report = TrainReport::default();
+    let mut global_step: u64 = 0;
+    let mut unique_sum = 0.0f64;
+    let mut unique_count = 0u64;
+
+    for epoch in 0..cfg.epochs {
+        let mut iter = shard_batches(train_tokens, spec, r, g);
+        let steps = if cfg.steps_per_epoch > 0 {
+            cfg.steps_per_epoch
+        } else {
+            iter.len()
+        };
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_time = 0.0f64;
+
+        for _ in 0..steps {
+            let batch = match iter.next() {
+                Some(b) => b,
+                None => {
+                    iter = shard_batches(train_tokens, spec, r, g);
+                    iter.next().expect("shard emptied unexpectedly")
+                }
+            };
+            let sb = SeqBatch::from_lane_major(&batch.inputs, &batch.targets, batch.batch, batch.seq_len);
+            let sample_seed = cfg
+                .method
+                .seeding
+                .seed_for(cfg.seed ^ SAMPLE_SEED, r, g, global_step);
+            let out = replica.step(&sb, sample_seed);
+
+            // Dense ALLREDUCE + average.
+            let mut dense = out.dense;
+            match cfg.method.compression {
+                Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale),
+                None => rank.all_reduce_sum(&mut dense),
+            }
+            let inv_g = 1.0 / g as f32;
+            for v in &mut dense {
+                *v *= inv_g;
+            }
+            let elem: u64 = if cfg.method.compression.is_some() { 2 } else { 4 };
+            let dense_bytes = if g > 1 {
+                2 * (g as u64 - 1) * dense.len() as u64 * elem / g as u64
+            } else {
+                0
+            };
+
+            // Embedding exchanges (applied with lr/G: sum → average).
+            let dim = replica.embed_dim();
+            let lr_eff = lr * inv_g;
+            let in_grad = out.input_grad;
+            let in_stats = exchange_and_apply(&rank, &in_grad, replica.input_table(), lr_eff, &xcfg);
+            let out_stats = match (out.output_grad, replica.output_table()) {
+                (Some(grad), Some(table)) => {
+                    Some(exchange_and_apply(&rank, &grad, table, lr_eff, &xcfg))
+                }
+                _ => None,
+            };
+
+            // Charge transient buffers against the device (symmetric
+            // across ranks, so OOM cannot deadlock the group).
+            let transient = in_stats.peak_buffer_bytes
+                + out_stats.map(|s| s.peak_buffer_bytes).unwrap_or(0)
+                + dense.len() as u64 * 4;
+            {
+                let _t = device.try_alloc(transient).map_err(TrainError::Oom)?;
+            }
+
+            replica.apply_dense(&dense, lr);
+
+            // Synchronised mean loss.
+            let loss = rank.all_reduce_scalar_f64(out.loss) / g as f64;
+            epoch_loss += loss;
+
+            // Simulated step time on the Table II hardware.
+            let k = cfg.local_batch_tokens();
+            let mut t = cost.compute_time(cfg.model.flops_per_step(k));
+            t += cost.allreduce_time(dense.len() as u64 * elem, g);
+            let out_dim = match &replica {
+                Replica::Word(m) => m.config().proj_dim,
+                Replica::Char(_) => dim,
+            };
+            t += exchange_time(cost, &in_stats, &xcfg, g, dim);
+            if let Some(s) = &out_stats {
+                t += exchange_time(cost, s, &xcfg, g, out_dim);
+            }
+            epoch_time += t;
+
+            if xcfg.unique {
+                unique_sum += in_stats.unique_global as f64;
+                unique_count += 1;
+            }
+
+            if is_rank0 {
+                report.steps.push(StepMetrics {
+                    step: global_step,
+                    train_loss: loss,
+                    sim_time_s: t,
+                    input_exchange: in_stats,
+                    output_exchange: out_stats,
+                    dense_bytes,
+                });
+            }
+            global_step += 1;
+        }
+
+        // Validation (replicas are identical; rank 0's numbers stand for
+        // all).
+        let valid_nll = if valid_tokens.is_empty() {
+            f64::NAN
+        } else {
+            replica.valid_loss(valid_tokens, cfg.batch.min(4), cfg.seq_len)
+        };
+        if is_rank0 {
+            report.epochs.push(EpochMetrics {
+                epoch,
+                train_loss: epoch_loss / steps.max(1) as f64,
+                valid_ppl: valid_nll.exp(),
+                valid_bpc: valid_nll / std::f64::consts::LN_2,
+                sim_time_s: epoch_time,
+            });
+        }
+        lr *= cfg.lr_decay;
+    }
+
+    report.traffic = rank.traffic();
+    report.mean_unique_global = if unique_count > 0 {
+        unique_sum / unique_count as f64
+    } else {
+        0.0
+    };
+    Ok(RankOutput { report })
+}
+
+/// Seed-domain separator for the train/valid split stream.
+const SPLIT_SEED: u64 = 0x5b11_7000_5b11_7000;
+/// Seed-domain separator for sampled-softmax candidate streams.
+const SAMPLE_SEED: u64 = 0x5eed_5eed_5eed_5eed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Method;
+    use crate::seeding::SeedStrategy;
+
+    fn quick_cfg(model: ModelKind, gpus: usize, method: Method) -> TrainConfig {
+        TrainConfig {
+            model,
+            gpus,
+            batch: 2,
+            seq_len: 6,
+            steps_per_epoch: 4,
+            epochs: 1,
+            base_lr: 0.3,
+            lr_decay: 0.95,
+            method,
+            seed: 7,
+            tokens: 30_000,
+        }
+    }
+
+    #[test]
+    fn word_training_runs_all_methods() {
+        for (_, method) in Method::figure6_stack() {
+            let cfg = quick_cfg(ModelKind::Word { vocab: 200 }, 2, method);
+            let rep = train(&cfg).expect("train");
+            assert_eq!(rep.epochs.len(), 1);
+            assert!(rep.epochs[0].train_loss.is_finite());
+            assert!(rep.epochs[0].valid_ppl.is_finite());
+            assert_eq!(rep.steps.len(), 4);
+        }
+    }
+
+    #[test]
+    fn char_training_runs() {
+        let cfg = quick_cfg(ModelKind::Char { vocab: 64 }, 2, Method::unique());
+        let rep = train(&cfg).expect("train");
+        assert!(rep.epochs[0].valid_bpc.is_finite());
+        assert!(rep.steps[0].output_exchange.is_none());
+    }
+
+    #[test]
+    fn multi_epoch_loss_improves() {
+        let mut cfg = quick_cfg(ModelKind::Char { vocab: 32 }, 2, Method::unique());
+        cfg.epochs = 4;
+        cfg.steps_per_epoch = 20;
+        cfg.base_lr = 0.5;
+        let rep = train(&cfg).expect("train");
+        let first = rep.epochs.first().unwrap().train_loss;
+        let last = rep.epochs.last().unwrap().train_loss;
+        assert!(last < first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn unique_reduces_traffic_vs_baseline() {
+        let base = train(&quick_cfg(
+            ModelKind::Word { vocab: 100 },
+            4,
+            Method::baseline(),
+        ))
+        .unwrap();
+        let uniq = train(&quick_cfg(
+            ModelKind::Word { vocab: 100 },
+            4,
+            Method::unique_seeded(),
+        ))
+        .unwrap();
+        assert!(
+            uniq.traffic.allgather_bytes < base.traffic.allgather_bytes,
+            "unique {} vs baseline {}",
+            uniq.traffic.allgather_bytes,
+            base.traffic.allgather_bytes
+        );
+        assert!(uniq.mean_unique_global > 0.0);
+    }
+
+    #[test]
+    fn oom_surfaces_as_error() {
+        let cfg = quick_cfg(ModelKind::Word { vocab: 200 }, 4, Method::baseline());
+        let err = train_with_memory_limit(&cfg, 200_000).unwrap_err();
+        assert!(matches!(err, TrainError::Oom(_)), "got {err}");
+    }
+
+    #[test]
+    fn unique_survives_memory_limit_where_baseline_dies() {
+        // The headline of Tables III/IV, in miniature.
+        let mk = |method| quick_cfg(ModelKind::Word { vocab: 300 }, 4, method);
+        // Find a limit between the two peak usages.
+        let base_peak = train(&mk(Method::baseline())).unwrap().peak_mem_bytes;
+        let uniq_peak = train(&mk(Method::unique_seeded())).unwrap().peak_mem_bytes;
+        assert!(uniq_peak < base_peak, "unique {uniq_peak} vs base {base_peak}");
+        let limit = (uniq_peak + base_peak) / 2;
+        assert!(matches!(
+            train_with_memory_limit(&mk(Method::baseline()), limit),
+            Err(TrainError::Oom(_))
+        ));
+        assert!(train_with_memory_limit(&mk(Method::unique_seeded()), limit).is_ok());
+    }
+
+    #[test]
+    fn data_too_small_detected() {
+        let mut cfg = quick_cfg(ModelKind::Char { vocab: 32 }, 2, Method::unique());
+        cfg.tokens = 20;
+        assert!(matches!(
+            train(&cfg),
+            Err(TrainError::DataTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick_cfg(ModelKind::Word { vocab: 150 }, 2, Method::unique_seeded());
+        let a = train(&cfg).unwrap();
+        let b = train(&cfg).unwrap();
+        assert_eq!(a.epochs[0].train_loss, b.epochs[0].train_loss);
+        assert_eq!(a.final_ppl(), b.final_ppl());
+    }
+
+    #[test]
+    fn seeding_shrinks_output_exchange() {
+        let shared = train(&quick_cfg(
+            ModelKind::Word { vocab: 400 },
+            4,
+            Method {
+                unique: true,
+                seeding: SeedStrategy::AllSame,
+                compression: None,
+            },
+        ))
+        .unwrap();
+        let per_gpu = train(&quick_cfg(
+            ModelKind::Word { vocab: 400 },
+            4,
+            Method {
+                unique: true,
+                seeding: SeedStrategy::PerGpu,
+                compression: None,
+            },
+        ))
+        .unwrap();
+        let ug = |r: &TrainReport| {
+            r.steps
+                .iter()
+                .filter_map(|s| s.output_exchange.map(|e| e.unique_global))
+                .sum::<usize>()
+        };
+        assert!(
+            ug(&shared) < ug(&per_gpu),
+            "shared {} vs per-gpu {}",
+            ug(&shared),
+            ug(&per_gpu)
+        );
+    }
+}

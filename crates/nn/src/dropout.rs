@@ -1,0 +1,91 @@
+//! Inverted dropout (used by the char LM per §IV-B: "Adam with weight
+//! decay and dropout").
+//!
+//! Inverted scaling (divide by keep probability at train time) keeps the
+//! eval path a no-op. The mask is returned so backward can reuse it.
+
+use rand::Rng;
+use tensor::Matrix;
+
+/// Applies inverted dropout in place; returns the 0/scale mask used so
+/// the backward pass can apply the identical mask.
+pub fn dropout_forward<R: Rng + ?Sized>(rng: &mut R, x: &mut Matrix, p_drop: f32) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&p_drop), "drop probability in [0, 1)");
+    if p_drop == 0.0 {
+        return vec![1.0; x.len()];
+    }
+    let keep = 1.0 - p_drop;
+    let scale = 1.0 / keep;
+    let mut mask = Vec::with_capacity(x.len());
+    for v in x.as_mut_slice() {
+        let m = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+        *v *= m;
+        mask.push(m);
+    }
+    mask
+}
+
+/// Applies the stored mask to the upstream gradient in place.
+pub fn dropout_backward(dy: &mut Matrix, mask: &[f32]) {
+    assert_eq!(dy.len(), mask.len(), "mask size mismatch");
+    for (d, &m) in dy.as_mut_slice().iter_mut().zip(mask) {
+        *d *= m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_drop_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let mask = dropout_forward(&mut rng, &mut x, 0.0);
+        assert_eq!(x.as_slice(), &[1., 2., 3., 4.]);
+        assert!(mask.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mut x = Matrix::from_vec(1, n, vec![1.0; n]);
+        dropout_forward(&mut rng, &mut x, 0.3);
+        let mean: f32 = x.as_slice().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn roughly_p_fraction_zeroed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mut x = Matrix::from_vec(1, n, vec![1.0; n]);
+        dropout_forward(&mut rng, &mut x, 0.5);
+        let zeros = x.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f64 / n as f64 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = Matrix::from_vec(1, 8, vec![1.0; 8]);
+        let mask = dropout_forward(&mut rng, &mut x, 0.5);
+        let mut dy = Matrix::from_vec(1, 8, vec![1.0; 8]);
+        dropout_backward(&mut dy, &mask);
+        // Gradient flows exactly where activations survived.
+        for (g, v) in dy.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(*g == 0.0, *v == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn full_drop_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut x = Matrix::zeros(1, 1);
+        dropout_forward(&mut rng, &mut x, 1.0);
+    }
+}

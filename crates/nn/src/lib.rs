@@ -1,0 +1,39 @@
+//! From-scratch neural language-model layers for `zipf-lm`.
+//!
+//! The paper's two test models (§IV-B) are:
+//!
+//! * a **word LM**: input embedding → 1× LSTM (2048 cells) → projection
+//!   (512) → output embedding + **sampled softmax** (1024 samples/GPU),
+//!   trained with SGD;
+//! * a **char LM**: a depth-10 **Recurrent Highway Network** (1792 cells,
+//!   213 M parameters) with a full softmax, trained with Adam.
+//!
+//! This crate implements those architectures with exact analytic
+//! backprop (every layer is verified against numerical gradients in its
+//! tests) and exposes the gradient structure the paper's techniques act
+//! on: embedding layers produce *sparse, token-aligned* gradients
+//! ([`embedding::SparseGrad`]) that the `lm` crate exchanges across GPUs
+//! by ALLGATHER (baseline) or the uniqueness scheme, while all other
+//! parameters produce dense gradients exchanged by ALLREDUCE.
+
+pub mod dropout;
+pub mod embedding;
+pub mod linear;
+pub mod loss_scale;
+pub mod lstm;
+pub mod lstm_stack;
+pub mod model;
+pub mod optimizer;
+pub mod rhn;
+pub mod sampled_softmax;
+pub mod softmax;
+
+pub use embedding::{Embedding, SparseGrad};
+pub use linear::Linear;
+pub use loss_scale::DynamicLossScaler;
+pub use lstm::LstmLayer;
+pub use lstm_stack::LstmStack;
+pub use model::{CharLm, CharLmGrads, WordLm, WordLmGrads};
+pub use optimizer::{Adam, Sgd};
+pub use rhn::RhnLayer;
+pub use sampled_softmax::{SampledSoftmax, SampledSoftmaxOutput};

@@ -1,0 +1,133 @@
+//! Dynamic loss scaling for reduced-precision training (§III-C).
+//!
+//! The compression technique borrows from mixed-precision training
+//! (Micikevicius et al., the paper's [33]): multiply the loss by a factor
+//! `F` before backprop so small gradients survive FP16, divide before
+//! applying. Static factors (256–1024, as the paper uses) work until a
+//! gradient spike overflows; *dynamic* scaling — the standard production
+//! refinement — backs the factor off on overflow and regrows it after a
+//! run of clean steps.
+
+/// Dynamic loss scaler with multiplicative grow/backoff.
+#[derive(Debug, Clone)]
+pub struct DynamicLossScaler {
+    scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    max_scale: f32,
+}
+
+impl DynamicLossScaler {
+    /// Standard configuration: start at `initial` (e.g. 512), double
+    /// after 200 clean steps, halve on overflow, cap at 2¹⁶.
+    pub fn new(initial: f32) -> Self {
+        assert!(initial > 0.0, "scale must be positive");
+        Self {
+            scale: initial,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 200,
+            good_steps: 0,
+            max_scale: 65536.0,
+        }
+    }
+
+    /// The current scaling factor to multiply the loss (or gradients) by.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Checks a gradient buffer for overflow (NaN/Inf), unscales it in
+    /// place if clean, and updates the factor. Returns `true` if the
+    /// step should be applied, `false` if it must be skipped.
+    pub fn unscale_and_update(&mut self, grads: &mut [f32]) -> bool {
+        let overflow = grads.iter().any(|g| !g.is_finite());
+        if overflow {
+            self.scale = (self.scale * self.backoff_factor).max(1.0);
+            self.good_steps = 0;
+            return false;
+        }
+        let inv = 1.0 / self.scale;
+        for g in grads.iter_mut() {
+            *g *= inv;
+        }
+        self.good_steps += 1;
+        if self.good_steps >= self.growth_interval {
+            self.scale = (self.scale * self.growth_factor).min(self.max_scale);
+            self.good_steps = 0;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_steps_unscale() {
+        let mut s = DynamicLossScaler::new(512.0);
+        let mut g = vec![512.0f32, -1024.0];
+        assert!(s.unscale_and_update(&mut g));
+        assert_eq!(g, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn overflow_backs_off_and_skips() {
+        let mut s = DynamicLossScaler::new(512.0);
+        let mut g = vec![1.0f32, f32::INFINITY];
+        assert!(!s.unscale_and_update(&mut g));
+        assert_eq!(s.scale(), 256.0);
+        // Buffer untouched on skip.
+        assert!(g[1].is_infinite());
+        let mut g2 = vec![f32::NAN];
+        assert!(!s.unscale_and_update(&mut g2));
+        assert_eq!(s.scale(), 128.0);
+    }
+
+    #[test]
+    fn grows_after_interval() {
+        let mut s = DynamicLossScaler::new(512.0);
+        for _ in 0..200 {
+            let mut g = vec![1.0f32];
+            assert!(s.unscale_and_update(&mut g));
+        }
+        assert_eq!(s.scale(), 1024.0);
+    }
+
+    #[test]
+    fn scale_bounded() {
+        let mut s = DynamicLossScaler::new(65536.0);
+        for _ in 0..400 {
+            let mut g = vec![1.0f32];
+            s.unscale_and_update(&mut g);
+        }
+        assert!(s.scale() <= 65536.0);
+        // And never below 1 on repeated overflow.
+        for _ in 0..40 {
+            let mut g = vec![f32::NAN];
+            s.unscale_and_update(&mut g);
+        }
+        assert!(s.scale() >= 1.0);
+    }
+
+    #[test]
+    fn overflow_resets_growth_counter() {
+        let mut s = DynamicLossScaler::new(512.0);
+        for _ in 0..199 {
+            let mut g = vec![1.0f32];
+            s.unscale_and_update(&mut g);
+        }
+        let mut bad = vec![f32::INFINITY];
+        s.unscale_and_update(&mut bad);
+        assert_eq!(s.scale(), 256.0);
+        // 199 more clean steps must NOT trigger growth yet.
+        for _ in 0..199 {
+            let mut g = vec![1.0f32];
+            s.unscale_and_update(&mut g);
+        }
+        assert_eq!(s.scale(), 256.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Calibration printout (run with
+//! `cargo test -p perfmodel calibration_dump -- --ignored --nocapture`).
+
+#[cfg(test)]
+mod tests {
+    use crate::charlm::{CharScale, TiebaScale};
+    use crate::wordlm::{TechniqueStack, WordScale};
+
+    #[test]
+    #[ignore = "diagnostic printout for constant tuning"]
+    fn calibration_dump() {
+        let w = WordScale::paper();
+        println!("=== Table III (word LM, hours/epoch) ===");
+        println!("paper baseline: 35.1 41.1 40.4 * *");
+        println!("paper ours:     14.6  8.1  6.4 5.4 4.5");
+        for (g, b, o) in w.table3() {
+            println!(
+                "{g:>3} gpus: baseline {:?} ({:.2} GB)  ours {:?} ({:.2} GB)",
+                b.epoch_hours.map(|h| (h * 10.0).round() / 10.0),
+                b.memory_gb,
+                o.epoch_hours.map(|h| (h * 10.0).round() / 10.0),
+                o.memory_gb,
+            );
+        }
+        println!("=== Fig 6 (speedups) paper@16: 1/4.0/4.3/5.1, @24: 1/5.1/5.4/6.3 ===");
+        for g in [16usize, 24] {
+            let s: Vec<String> = w
+                .fig6(g)
+                .iter()
+                .map(|(l, v)| format!("{l}={v:.2}"))
+                .collect();
+            println!("{g}: {}", s.join(" "));
+        }
+        println!("=== per-step breakdown word@16 ===");
+        for stack in TechniqueStack::all() {
+            println!(
+                "{}: {:.3}s (in_rows {}, out_rows {})",
+                stack.label(),
+                w.step_time(16, stack),
+                w.input_rows(16, stack),
+                w.output_rows(16, stack)
+            );
+        }
+        let c = CharScale::paper();
+        println!("=== Table IV (char LM) paper base: 25.7/14.5/10.6/*/*; ours: 23.2/12.9/8.2/6.8/3.5 ===");
+        for (g, b, o) in c.table4() {
+            println!(
+                "{g:>3} gpus: baseline {:?} ({:.2} GB)  ours {:?} ({:.2} GB)",
+                b.epoch_hours.map(|h| (h * 10.0).round() / 10.0),
+                b.memory_gb,
+                o.epoch_hours.map(|h| (h * 10.0).round() / 10.0),
+                o.memory_gb,
+            );
+        }
+        println!("=== Table V paper: 27/28/34 h ===");
+        for r in TiebaScale::paper().table5() {
+            println!("{:>3} gpus {:>6} batch: {:.1} h", r.gpus, r.batch, r.hours);
+        }
+    }
+}

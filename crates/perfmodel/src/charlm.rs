@@ -1,0 +1,372 @@
+//! Full-scale char-LM model: Table IV (1-Billion, 98-char vocabulary)
+//! and Table V (Tieba weak scaling, 15,437-char vocabulary).
+//!
+//! The char LM (§IV-B): depth-10 RHN with 1792 cells (213 M parameters),
+//! per-GPU batch 128 × seq 150 (K = 19,200 chars), full softmax. Unlike
+//! the word LM, the dominant distributed cost is the **dense** parameter
+//! ring ALLREDUCE (852 MB of gradients per step); the baseline
+//! additionally ALLGATHERs the `K×D` input-embedding gradients
+//! (137.6 MB/GPU/step) and pays duplicate-update contention on the tiny
+//! alphabet (every row is hot when `G·K ≫ V`).
+
+use crate::wordlm::{ScalingRow, TechniqueStack, STRAGGLER_PER_DOUBLING};
+use simgpu::HardwareConfig;
+
+/// CALIBRATED: fixed per-step overhead for the char LM, anchored to
+/// Table IV's 8-GPU "with our technique" row (23.2 h).
+pub const CHAR_STEP_OVERHEAD_S: f64 = 2.26;
+/// CALIBRATED: duplicate-update contention per gathered token for the
+/// baseline (every token hits one of ~98 rows).
+pub const CHAR_CONTENTION_PER_TOKEN: f64 = 1.76e-6;
+/// CALIBRATED: fixed per-step overhead for the Tieba model, anchored to
+/// Table V's 6- and 192-GPU rows jointly with
+/// [`TIEBA_PER_TOKEN_S`]. (The 192-GPU row halves the per-GPU batch —
+/// 12,288 / 192 = 64 sequences — which is why its per-step time *drops*;
+/// a constant-only overhead cannot reproduce that.)
+pub const TIEBA_STEP_OVERHEAD_S: f64 = 0.5;
+/// CALIBRATED: per-token step cost of the Tieba model (compute + 15 K
+/// softmax + input pipeline), anchored to Table V's 6-GPU row.
+pub const TIEBA_PER_TOKEN_S: f64 = 5.14e-4;
+
+/// Full-scale char-LM configuration (Table IV).
+#[derive(Debug, Clone)]
+pub struct CharScale {
+    /// Alphabet size.
+    pub vocab: usize,
+    /// Embedding/RHN width `D = H`.
+    pub hidden: usize,
+    /// Per-GPU chars per step `K`.
+    pub local_tokens: usize,
+    /// Corpus chars per epoch.
+    pub tokens_per_epoch: u64,
+    /// Dense parameter bytes (§IV-B: 213 M params).
+    pub dense_bytes: u64,
+    /// Compute seconds per step per GPU (2,721 GFLOP/iter at the
+    /// measured 3.95 TFLOP/s, §V-B).
+    pub compute_s: f64,
+    /// Fixed per-step overhead.
+    pub overhead_s: f64,
+    hw: HardwareConfig,
+}
+
+impl CharScale {
+    /// Table IV's configuration: char LM on the 1-Billion dataset
+    /// (4.19 B chars).
+    pub fn paper() -> Self {
+        Self {
+            vocab: 98,
+            hidden: 1792,
+            local_tokens: 128 * 150,
+            tokens_per_epoch: 4_190_000_000,
+            dense_bytes: 213_000_000 * 4,
+            compute_s: 2_721.0e9 / 3.95e12,
+            overhead_s: CHAR_STEP_OVERHEAD_S,
+            hw: HardwareConfig::titan_x_cluster(),
+        }
+    }
+
+    /// Steps per epoch at `g` GPUs.
+    pub fn steps_per_epoch(&self, g: usize) -> u64 {
+        self.tokens_per_epoch / (g as u64 * self.local_tokens as u64)
+    }
+
+    fn straggler(&self, g: usize) -> f64 {
+        // Char steps are long; jitter amortises — a third of the word
+        // LM's per-doubling penalty.
+        if g <= 8 {
+            1.0
+        } else {
+            1.0 + STRAGGLER_PER_DOUBLING / 3.0 * (g as f64 / 8.0).log2()
+        }
+    }
+
+    /// Simulated seconds per step.
+    pub fn step_time(&self, g: usize, stack: TechniqueStack) -> f64 {
+        let compressed = matches!(stack, TechniqueStack::Full);
+        let elem: f64 = if compressed { 2.0 } else { 4.0 };
+        let bw = self.hw.ring_bandwidth(g);
+        let ring = if g > 1 {
+            2.0 * (g as f64 - 1.0) / g as f64 * self.dense_bytes as f64 * (elem / 4.0) / bw
+        } else {
+            0.0
+        };
+        let unique = !matches!(stack, TechniqueStack::Baseline);
+        let (gather, contention) = if unique {
+            // Index gather Θ(G·K) + Ug×D allreduce with Ug ≤ |V| = 98:
+            // both negligible at this scale, but modeled.
+            let idx = if g > 1 {
+                (g as f64 - 1.0) * self.local_tokens as f64 * 4.0 / bw
+            } else {
+                0.0
+            };
+            let ug_reduce = if g > 1 {
+                2.0 * (g as f64 - 1.0) / g as f64 * (self.vocab * self.hidden) as f64 * elem / bw
+            } else {
+                0.0
+            };
+            (idx + ug_reduce, 0.0)
+        } else {
+            // Dense gather of K×D grads from every GPU (ring-scheduled)
+            // + hot-row contention on the tiny table.
+            let gather = if g > 1 {
+                (g as f64 - 1.0) * (self.local_tokens * self.hidden) as f64 * elem / bw
+            } else {
+                0.0
+            };
+            let contention = CHAR_CONTENTION_PER_TOKEN * (g * self.local_tokens) as f64 / 8.0
+                * 8.0f64.min(g as f64);
+            (gather, contention)
+        };
+        (self.overhead_s + self.compute_s + ring + gather + contention) * self.straggler(g)
+    }
+
+    /// Peak per-GPU memory in GB. Model + gradients + Adam state is
+    /// ~3.4 GB; the baseline adds the staged G·K·D gather (double-
+    /// buffered), which crosses 12 GB between 24 and 32 GPUs.
+    pub fn memory_gb(&self, g: usize, stack: TechniqueStack) -> f64 {
+        let model = 4.0 * self.dense_bytes as f64 / 1e9;
+        if matches!(stack, TechniqueStack::Baseline) {
+            // 2.5×: send/recv staging plus executor slack on the gather.
+            let gather = 2.5 * g as f64 * (self.local_tokens * self.hidden) as f64 * 4.0 / 1e9;
+            model + gather
+        } else {
+            model
+                + ((g * self.local_tokens) as f64 * 4.0
+                    + (self.vocab * self.hidden) as f64 * 4.0)
+                    / 1e9
+        }
+    }
+
+    /// True if the configuration exceeds the 12 GB Titan X.
+    pub fn ooms(&self, g: usize, stack: TechniqueStack) -> bool {
+        self.memory_gb(g, stack) > self.hw.gpu_mem_bytes as f64 / 1e9
+    }
+
+    /// Per-epoch hours, `None` on OOM.
+    pub fn epoch_hours(&self, g: usize, stack: TechniqueStack) -> Option<f64> {
+        if self.ooms(g, stack) {
+            return None;
+        }
+        Some(self.step_time(g, stack) * self.steps_per_epoch(g) as f64 / 3600.0)
+    }
+
+    /// One scaling row (efficiency vs the same stack's 8-GPU row).
+    pub fn scaling_row(&self, g: usize, stack: TechniqueStack) -> ScalingRow {
+        let base = self.epoch_hours(8, stack);
+        let hours = self.epoch_hours(g, stack);
+        let eff = match (base, hours) {
+            (Some(b), Some(h)) => Some(b * 8.0 / (g as f64 * h)),
+            _ => None,
+        };
+        ScalingRow {
+            gpus: g,
+            epoch_hours: hours,
+            parallel_efficiency: eff,
+            memory_gb: self.memory_gb(g, stack),
+        }
+    }
+
+    /// Table IV rows: `(gpus, baseline, with-technique)`.
+    pub fn table4(&self) -> Vec<(usize, ScalingRow, ScalingRow)> {
+        [8usize, 16, 24, 32, 64]
+            .iter()
+            .map(|&g| {
+                (
+                    g,
+                    self.scaling_row(g, TechniqueStack::Baseline),
+                    self.scaling_row(g, TechniqueStack::Full),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Table V's weak-scaling configuration: Tieba char LM, 15,437-character
+/// vocabulary, data grows with GPUs (1.07 B / 4.29 B / 34.36 B chars on
+/// 6 / 24 / 192 GPUs).
+#[derive(Debug, Clone)]
+pub struct TiebaScale {
+    inner: CharScale,
+}
+
+/// One Table V row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakScalingRow {
+    /// Corpus chars (billions).
+    pub chars_billion: f64,
+    /// Corpus size in GB.
+    pub corpus_gb: f64,
+    /// GPUs.
+    pub gpus: usize,
+    /// Global batch (sequences).
+    pub batch: usize,
+    /// Modeled hours for one epoch.
+    pub hours: f64,
+}
+
+impl TiebaScale {
+    /// The §V-C configuration.
+    pub fn paper() -> Self {
+        let mut inner = CharScale::paper();
+        inner.vocab = 15_437;
+        inner.overhead_s = TIEBA_STEP_OVERHEAD_S;
+        inner.compute_s = TIEBA_PER_TOKEN_S * inner.local_tokens as f64;
+        Self { inner }
+    }
+
+    /// The three Table V rows (modeled time; perplexity comes from real
+    /// training in the bench harness). Batch sizes are the paper's
+    /// literal values — note the 192-GPU row drops to 64 sequences per
+    /// GPU (12,288 / 192), which Table V records explicitly.
+    pub fn table5(&self) -> Vec<WeakScalingRow> {
+        [
+            (1.07f64, 3.0f64, 6usize, 768usize),
+            (4.29, 12.0, 24, 3_072),
+            (34.36, 93.0, 192, 12_288),
+        ]
+        .iter()
+        .map(|&(chars_b, gb, gpus, batch)| {
+            let chars_per_step = batch as u64 * 150;
+            let steps = (chars_b * 1e9) as u64 / chars_per_step;
+            // Scale the compute term to the actual per-GPU tokens.
+            let k = batch * 150 / gpus;
+            let mut m = self.inner.clone();
+            m.compute_s *= k as f64 / m.local_tokens as f64;
+            m.local_tokens = k;
+            let hours = m.step_time(gpus, TechniqueStack::Full) * steps as f64 / 3600.0;
+            WeakScalingRow {
+                chars_billion: chars_b,
+                corpus_gb: gb,
+                gpus,
+                batch,
+                hours,
+            }
+        })
+        .collect()
+    }
+
+    /// §V-C: aggregate achieved PFLOP/s at `g` GPUs (0.76 at 192).
+    pub fn achieved_pflops(&self, g: usize) -> f64 {
+        g as f64 * 6.1e12 * 0.64 / 1e15
+    }
+}
+
+/// §V-D's infrastructure-normalised throughput comparison: if run A is
+/// `time_ratio`× slower than run B but on `power_ratio`× less powerful
+/// hardware, A's effective gain is `power_ratio / time_ratio`.
+///
+/// The paper: 14× longer than [21] on 41× weaker infrastructure ⇒
+/// "a rough gain of 2.9×".
+pub fn normalized_throughput_gain(time_ratio: f64, power_ratio: f64) -> f64 {
+    assert!(time_ratio > 0.0 && power_ratio > 0.0);
+    power_ratio / time_ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape() {
+        let m = CharScale::paper();
+        let t = m.table4();
+        // Paper: baseline 25.7/14.5/10.6/*/*; ours 23.2/12.9/8.2/6.8/3.5.
+        let paper_base = [Some(25.7), Some(14.5), Some(10.6), None, None];
+        let paper_ours = [23.2, 12.9, 8.2, 6.8, 3.5];
+        for (i, (g, base, ours)) in t.iter().enumerate() {
+            match paper_base[i] {
+                Some(pb) => {
+                    let got = base.epoch_hours.unwrap_or(f64::NAN);
+                    assert!(
+                        (got - pb).abs() / pb < 0.4,
+                        "baseline {g}: {got:.1} vs {pb}"
+                    );
+                }
+                None => assert!(base.epoch_hours.is_none(), "baseline {g} should OOM"),
+            }
+            let got = ours.epoch_hours.unwrap();
+            assert!(
+                (got - paper_ours[i]).abs() / paper_ours[i] < 0.4,
+                "ours {g}: {got:.1} vs {}",
+                paper_ours[i]
+            );
+        }
+    }
+
+    #[test]
+    fn char_speedup_at_64() {
+        // §V-B: 6.6× speedup at 64 GPUs vs our 8-GPU run.
+        let m = CharScale::paper();
+        let s = m.epoch_hours(8, TechniqueStack::Full).unwrap()
+            / m.epoch_hours(64, TechniqueStack::Full).unwrap();
+        assert!((4.5..9.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn char_efficiency_higher_than_word() {
+        // §V-A vs §V-B: char LM's higher computational intensity keeps
+        // efficiency high (82% vs 40% at 64 GPUs).
+        let c = CharScale::paper();
+        let eff = c
+            .scaling_row(64, TechniqueStack::Full)
+            .parallel_efficiency
+            .unwrap();
+        assert!(eff > 0.55, "char efficiency {eff}");
+        let w = crate::wordlm::WordScale::paper();
+        let weff = w
+            .scaling_row(64, TechniqueStack::Full)
+            .parallel_efficiency
+            .unwrap();
+        assert!(eff > weff, "char {eff} vs word {weff}");
+    }
+
+    #[test]
+    fn baseline_close_to_ours_at_8_gpus() {
+        // Table IV: 25.7 vs 23.2 — only ~11% apart at 8 GPUs (unlike the
+        // word LM's 2.4×), because the char exchange is small.
+        let m = CharScale::paper();
+        let ratio = m.epoch_hours(8, TechniqueStack::Baseline).unwrap()
+            / m.epoch_hours(8, TechniqueStack::Full).unwrap();
+        assert!((1.02..1.35).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn table5_weak_scaling() {
+        let t = TiebaScale::paper().table5();
+        assert_eq!(t.len(), 3);
+        // Paper: 27 / 28 / 34 hours.
+        let paper = [27.0, 28.0, 34.0];
+        for (row, &p) in t.iter().zip(&paper) {
+            assert!(
+                (row.hours - p).abs() / p < 0.35,
+                "{} GPUs: {:.1}h vs paper {p}h",
+                row.gpus,
+                row.hours
+            );
+        }
+        // Headline: 32× data / GPUs costs only ~1.25× time.
+        let blowup = t[2].hours / t[0].hours;
+        assert!((1.05..1.6).contains(&blowup), "blowup {blowup}");
+        // Batches: 768 / 3072 / 12288.
+        assert_eq!(t[0].batch, 768);
+        assert_eq!(t[1].batch, 3072);
+        assert_eq!(t[2].batch, 12_288);
+    }
+
+    #[test]
+    fn achieved_pflops_matches_paper() {
+        let t = TiebaScale::paper();
+        assert!((t.achieved_pflops(192) - 0.76).abs() < 0.03);
+    }
+
+    #[test]
+    fn sota_normalized_gain_matches_paper() {
+        // §V-D: "we take 17.6 hours, 14× longer than [21], but using 41X
+        // less powerful infrastructure … a rough gain of 2.9×."
+        let gain = normalized_throughput_gain(14.0, 41.0);
+        assert!((gain - 2.9).abs() < 0.05, "gain {gain}");
+        // "The gain increases to 3.3× as we train to 3 epochs."
+        let gain3 = normalized_throughput_gain(41.0 / 3.3, 41.0);
+        assert!((gain3 - 3.3).abs() < 0.05);
+    }
+}

@@ -1,0 +1,151 @@
+//! Hardware presets — Table II of the paper, plus the V100 system of §V-D.
+
+/// Static description of a GPU cluster for the α–β cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// GPUs per node (the paper uses 8).
+    pub gpus_per_node: usize,
+    /// Device memory per GPU in bytes.
+    pub gpu_mem_bytes: u64,
+    /// Peak FLOP/s per GPU (FP32).
+    pub peak_flops: f64,
+    /// Intra-node link bandwidth per GPU, bytes/s (PCIe for Titan X,
+    /// NVLink for V100).
+    pub intra_node_bw: f64,
+    /// Inter-node bandwidth per node, bytes/s (Infiniband FDR).
+    pub inter_node_bw: f64,
+    /// Per-message latency within a node, seconds.
+    pub intra_latency: f64,
+    /// Per-message latency across nodes, seconds.
+    pub inter_latency: f64,
+}
+
+impl HardwareConfig {
+    /// The paper's evaluation cluster (Table II): 50 nodes, 8× GeForce
+    /// GTX Titan X per node (12 GB, 6.1 TFLOP/s FP32), PCIe 32 GB/s
+    /// bidirectional intra-node, Infiniband FDR 15 GB/s bidirectional
+    /// inter-node.
+    pub fn titan_x_cluster() -> Self {
+        Self {
+            name: "titanx-pcie-ibfdr",
+            gpus_per_node: 8,
+            gpu_mem_bytes: 12 * (1 << 30),
+            peak_flops: 6.1e12,
+            // Bidirectional figures halved to an effective unidirectional
+            // stream rate, which is what a ring step uses.
+            intra_node_bw: 16.0e9,
+            inter_node_bw: 7.5e9,
+            intra_latency: 10e-6,
+            inter_latency: 30e-6,
+        }
+    }
+
+    /// The comparison system of §V-D ([21]'s infrastructure): DGX-style
+    /// V100s — 125 TFLOP/s tensor peak, 16 GB HBM2, NVLink.
+    pub fn v100_dgx() -> Self {
+        Self {
+            name: "v100-nvlink",
+            gpus_per_node: 8,
+            gpu_mem_bytes: 16 * (1 << 30),
+            peak_flops: 125.0e12,
+            intra_node_bw: 150.0e9,
+            inter_node_bw: 12.5e9,
+            intra_latency: 5e-6,
+            inter_latency: 20e-6,
+        }
+    }
+
+    /// Number of nodes needed for `gpus` GPUs.
+    pub fn nodes_for(&self, gpus: usize) -> usize {
+        gpus.div_ceil(self.gpus_per_node)
+    }
+
+    /// Effective link bandwidth for a *ring* schedule spanning `gpus`
+    /// GPUs. In a ring each GPU sends to exactly one neighbour per step,
+    /// so only one GPU per node uses the Infiniband pipe at a time; the
+    /// step rate is bounded by the slowest link on the ring.
+    pub fn ring_bandwidth(&self, gpus: usize) -> f64 {
+        assert!(gpus >= 1);
+        if gpus <= self.gpus_per_node {
+            self.intra_node_bw
+        } else {
+            self.inter_node_bw.min(self.intra_node_bw)
+        }
+    }
+
+    /// Effective per-GPU bandwidth when *all* GPUs of a node pull remote
+    /// data simultaneously (naive gather schedules): the node NIC is
+    /// shared `gpus_per_node` ways.
+    pub fn gather_bandwidth(&self, gpus: usize) -> f64 {
+        assert!(gpus >= 1);
+        if gpus <= self.gpus_per_node {
+            self.intra_node_bw
+        } else {
+            (self.inter_node_bw / self.gpus_per_node as f64).min(self.intra_node_bw)
+        }
+    }
+
+    /// Per-hop message latency for a job spanning `gpus` GPUs.
+    pub fn ring_latency(&self, gpus: usize) -> f64 {
+        if gpus <= self.gpus_per_node {
+            self.intra_latency
+        } else {
+            self.inter_latency
+        }
+    }
+
+    /// Aggregate peak FLOP/s for `gpus` GPUs.
+    pub fn cluster_peak_flops(&self, gpus: usize) -> f64 {
+        self.peak_flops * gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        let hw = HardwareConfig::titan_x_cluster();
+        assert_eq!(hw.gpus_per_node, 8);
+        assert_eq!(hw.gpu_mem_bytes, 12 * 1024 * 1024 * 1024);
+        assert!((hw.peak_flops - 6.1e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn nodes_round_up() {
+        let hw = HardwareConfig::titan_x_cluster();
+        assert_eq!(hw.nodes_for(8), 1);
+        assert_eq!(hw.nodes_for(9), 2);
+        assert_eq!(hw.nodes_for(64), 8);
+        assert_eq!(hw.nodes_for(192), 24);
+    }
+
+    #[test]
+    fn multi_node_bandwidth_is_lower() {
+        let hw = HardwareConfig::titan_x_cluster();
+        assert!(hw.ring_bandwidth(16) < hw.ring_bandwidth(8));
+        assert!(hw.ring_latency(16) > hw.ring_latency(8));
+    }
+
+    #[test]
+    fn v100_much_faster_than_titanx() {
+        let t = HardwareConfig::titan_x_cluster();
+        let v = HardwareConfig::v100_dgx();
+        // §V-D: "41X less powerful infrastructure" (128 V100 vs 64 TitanX
+        // = 16 PFLOP/s vs 0.39 PFLOP/s).
+        let ratio = v.cluster_peak_flops(128) / t.cluster_peak_flops(64);
+        assert!((ratio - 41.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cluster_peak_flops_matches_paper() {
+        // §V-C: "a total of 0.76 PFLOP/s using 192 GPUs" at 64% of peak
+        // would be 192 * 6.1 TF * 0.64 ≈ 0.75 PF.
+        let hw = HardwareConfig::titan_x_cluster();
+        let achieved = hw.cluster_peak_flops(192) * 0.64;
+        assert!((achieved / 1e15 - 0.76).abs() < 0.02, "{achieved}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulated multi-GPU cluster substrate.
+//!
+//! The paper ran on a 50-node cluster of 8× Titan X GPUs connected by
+//! PCIe (intra-node) and Infiniband FDR (inter-node), driving collectives
+//! through CUDA-aware MPI. This crate recreates that execution
+//! environment on one machine:
+//!
+//! * [`device::Device`] — a simulated GPU: an id plus a memory accountant
+//!   with capacity, live usage, peak tracking and out-of-memory errors
+//!   (how the paper's baseline dies beyond 24 GPUs).
+//! * [`comm`] — a thread-group communicator with **real** data-moving
+//!   collectives: ring ALLREDUCE (reduce-scatter + all-gather phases,
+//!   exactly the algorithm of Gibiansky's ring-allreduce the paper cites),
+//!   variable-size ALLGATHER, broadcast, barrier, plus FP16-on-the-wire
+//!   variants for the paper's compression technique.
+//! * [`traffic::TrafficRecorder`] — counts every byte a collective moves,
+//!   so experiments can assert the paper's Θ(G·K·D) vs Θ(G·K + Ug·D)
+//!   communication claims on measured data.
+//! * [`hw::HardwareConfig`] — Table II hardware presets (Titan X cluster;
+//!   the V100/NVLink system of §V-D).
+//! * [`cost`] — the α–β (latency–bandwidth) model translating byte
+//!   volumes and FLOP counts into simulated wall-clock seconds.
+//!
+//! Threads stand in for GPUs: one OS thread per rank, shared-memory
+//! mailboxes for links. Every collective really moves the payload through
+//! per-step mailboxes, so communication volume is measured, not assumed.
+
+pub mod comm;
+pub mod cost;
+pub mod device;
+pub mod hw;
+pub mod traffic;
+
+pub use comm::{CommGroup, Rank};
+pub use cost::CostModel;
+pub use device::{Allocation, Device, OomError};
+pub use hw::HardwareConfig;
+pub use traffic::{TrafficRecorder, TrafficSnapshot};

@@ -1,0 +1,267 @@
+//! Software IEEE-754 binary16 ("half precision") and the paper's
+//! compression-scaling trick (§III-C).
+//!
+//! The paper halves communication volume by down-casting FP32 gradient
+//! tensors to FP16 on the wire and up-casting on receipt. Plain
+//! down-casting flushes gradients below ~6·10⁻⁵ (the smallest binary16
+//! subnormal is 2⁻²⁴ ≈ 6·10⁻⁸, the smallest normal 2⁻¹⁴ ≈ 6.1·10⁻⁵) to
+//! zero or subnormal mush; *compression-scaling* multiplies by a factor
+//! `F` (256–1024) before the cast and divides after, moving small
+//! gradients back into well-represented range. We implement binary16
+//! bit-exactly (round-to-nearest-even) so the accuracy experiments are
+//! faithful to what FP16 hardware would do.
+
+/// An IEEE-754 binary16 value stored as its bit pattern.
+///
+/// ```
+/// use tensor::F16;
+/// assert_eq!(F16::from_f32(1.0).0, 0x3c00);
+/// assert_eq!(F16::from_f32(1.0).to_f32(), 1.0);
+/// // A 1e-8 gradient is lost without compression-scaling:
+/// assert_eq!(F16::from_f32(1e-8).to_f32(), 0.0);
+/// assert!(F16::from_f32(1e-8 * 1024.0).to_f32() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// Largest finite binary16 value, 65504.
+    pub const MAX: f32 = 65504.0;
+    /// Smallest positive normal binary16 value, 2⁻¹⁴.
+    pub const MIN_POSITIVE_NORMAL: f32 = 6.103_515_6e-5;
+
+    /// Converts from `f32` with round-to-nearest-even, overflow to ±∞.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let mant = bits & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Inf or NaN. Preserve NaN-ness with a quiet-NaN payload bit.
+            let nan_payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7c00 | nan_payload);
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflows f16 range -> infinity.
+            return F16(sign | 0x7c00);
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep 10 mantissa bits, round-to-nearest-even
+            // on the 13 dropped bits.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_mant = (mant >> 13) as u16;
+            let round_bits = mant & 0x1fff;
+            let mut out = sign | half_exp | half_mant;
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent: correct.
+            }
+            return F16(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16. Implicit leading 1 becomes explicit.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-unbiased - 14 + 13) as u32; // 14..24
+            let half_mant = (full_mant >> shift) as u16;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = full_mant & round_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign | half_mant;
+            if round_bits > halfway || (round_bits == halfway && (half_mant & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Too small even for subnormal: signed zero.
+        F16(sign)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let bits = self.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1f;
+        let mant = bits & 0x03ff;
+
+        let out = if exp == 0x1f {
+            // Inf / NaN.
+            sign | 0x7f80_0000 | (mant << 13)
+        } else if exp != 0 {
+            // Normal.
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        } else if mant != 0 {
+            // Subnormal: renormalise.
+            let mut m = mant;
+            let mut e: u32 = 127 - 15 + 1;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | (e << 23) | ((m & 0x03ff) << 13)
+        } else {
+            sign // signed zero
+        };
+        f32::from_bits(out)
+    }
+
+    /// True if this is an infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+
+    /// True if this is a NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+}
+
+/// Round-trips a value through binary16 (what the wire does to it).
+#[inline]
+pub fn round_trip(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
+/// Down-casts a slice with compression-scaling: `out[i] = f16(x[i] · F)`.
+pub fn compress_scaled(xs: &[f32], scale: f32, out: &mut Vec<u16>) {
+    out.clear();
+    out.reserve(xs.len());
+    out.extend(xs.iter().map(|&x| F16::from_f32(x * scale).0));
+}
+
+/// Up-casts and un-scales: `out[i] = f32(h[i]) / F`.
+pub fn decompress_scaled(hs: &[u16], scale: f32, out: &mut [f32]) {
+    assert_eq!(hs.len(), out.len(), "length mismatch");
+    let inv = 1.0 / scale;
+    for (o, &h) in out.iter_mut().zip(hs) {
+        *o = F16(h).to_f32() * inv;
+    }
+}
+
+/// Round-trips an entire slice in place through scaled binary16 — the
+/// numerical effect of one compressed collective on a tensor.
+pub fn round_trip_scaled_in_place(xs: &mut [f32], scale: f32) {
+    let inv = 1.0 / scale;
+    for x in xs {
+        *x = F16::from_f32(*x * scale).to_f32() * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3c00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xc000);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7bff);
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7c00);
+        assert_eq!(F16::from_f32(2.0f32.powi(-14)).0, 0x0400); // min normal
+        assert_eq!(F16::from_f32(2.0f32.powi(-24)).0, 0x0001); // min subnormal
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert_eq!(F16::from_f32(-1e6).0 & 0x8000, 0x8000);
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(F16::from_f32(1e-9).0, 0x0000);
+        assert_eq!(F16::from_f32(-1e-9).0, 0x8000);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16(0x7e00).to_f32().is_nan());
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // round-to-even keeps 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).0, 0x3c00);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).0, 0x3c01);
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // Largest mantissa + round-up must carry cleanly to next exponent.
+        let x = 2047.5f32; // rounds to 2048 in f16
+        assert_eq!(round_trip(x), 2048.0);
+    }
+
+    #[test]
+    fn exhaustive_f16_to_f32_round_trip() {
+        // Every finite f16 must survive f16 -> f32 -> f16 exactly.
+        for bits in 0u16..=0xffff {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn small_gradients_lost_without_scaling_kept_with() {
+        // A gradient of 1e-8 is below the subnormal threshold: lost.
+        let g = 1e-8f32;
+        assert_eq!(round_trip(g), 0.0);
+        // With compression-scaling (F = 1024) it survives within f16 eps.
+        let mut v = [g];
+        round_trip_scaled_in_place(&mut v, 1024.0);
+        assert!((v[0] - g).abs() / g < 1e-2, "got {}", v[0]);
+    }
+
+    #[test]
+    fn compress_decompress_slices() {
+        let xs = [0.5f32, -0.25, 3.0, 1e-5];
+        let mut wire = Vec::new();
+        compress_scaled(&xs, 512.0, &mut wire);
+        assert_eq!(wire.len(), xs.len());
+        let mut back = [0.0f32; 4];
+        decompress_scaled(&wire, 512.0, &mut back);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() * 2e-3 + 1e-7, "{a} vs {b}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn relative_error_bounded_in_normal_range(x in -60000.0f32..60000.0) {
+            prop_assume!(x.abs() >= F16::MIN_POSITIVE_NORMAL);
+            let rt = round_trip(x);
+            // binary16 has 11 significand bits: rel err <= 2^-11.
+            prop_assert!((rt - x).abs() <= x.abs() * 2.0f32.powi(-11));
+        }
+
+        #[test]
+        fn round_trip_is_idempotent(x in -1e5f32..1e5) {
+            let once = round_trip(x);
+            prop_assert_eq!(once.to_bits(), round_trip(once).to_bits());
+        }
+
+        #[test]
+        fn sign_preserved(x in -1e4f32..1e4) {
+            prop_assume!(x != 0.0);
+            let rt = round_trip(x);
+            prop_assert!(rt == 0.0 || rt.is_sign_positive() == x.is_sign_positive());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Seeded weight initialisers.
+//!
+//! Every experiment in the reproduction is deterministic given its seed;
+//! these helpers are the only place weights are randomised.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Uniform init in `[-bound, bound]`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, bound: f32) -> Matrix {
+    assert!(bound > 0.0, "bound must be positive");
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform init: `bound = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, bound)
+}
+
+/// Embedding-style init: `U(-1/sqrt(D), 1/sqrt(D))` for a `V×D` table.
+pub fn embedding<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Matrix {
+    let bound = 1.0 / (dim as f32).sqrt();
+    uniform(rng, vocab, dim, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier(&mut StdRng::seed_from_u64(9), 4, 5);
+        let b = xavier(&mut StdRng::seed_from_u64(9), 4, 5);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = xavier(&mut StdRng::seed_from_u64(1), 4, 5);
+        let b = xavier(&mut StdRng::seed_from_u64(2), 4, 5);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn values_within_bound() {
+        let bound = 0.3;
+        let m = uniform(&mut StdRng::seed_from_u64(3), 10, 10, bound);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let small = xavier(&mut StdRng::seed_from_u64(4), 4, 4);
+        let large = xavier(&mut StdRng::seed_from_u64(4), 400, 400);
+        let max_small = small.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let max_large = large.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn embedding_bound() {
+        let m = embedding(&mut StdRng::seed_from_u64(5), 100, 64);
+        let bound = 1.0 / 8.0;
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.cols(), 64);
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal dense-tensor substrate for `zipf-lm`.
+//!
+//! The paper trains LSTM / RHN language models in TensorFlow on GPUs; we
+//! need just enough linear algebra to train the same architectures on CPU:
+//!
+//! * [`Matrix`] — row-major `f32` matrices with rayon-parallel GEMM (the
+//!   CPU stand-in for CUDA thread-block parallelism).
+//! * [`ops`] — numerically-stable softmax / log-sum-exp and the pointwise
+//!   nonlinearities LSTM/RHN need.
+//! * [`f16`] — bit-exact software IEEE-754 binary16 with round-to-nearest-
+//!   even, plus the compression-scaling helpers of the paper's §III-C.
+//! * [`init`] — seeded uniform / Xavier initialisers so every experiment
+//!   is reproducible.
+
+pub mod f16;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use f16::F16;
+pub use matrix::Matrix;

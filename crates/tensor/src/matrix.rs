@@ -1,0 +1,368 @@
+//! Row-major `f32` matrices with rayon-parallel GEMM.
+//!
+//! The hot paths in LM training are `activations × weights` products; on a
+//! GPU these run as thread-block kernels, here they run as rayon parallel
+//! row loops with an inner loop arranged for auto-vectorisation (k-outer
+//! accumulate-into-row ordering, contiguous row access only).
+
+use rayon::prelude::*;
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor (debug-checked).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter (debug-checked).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `self += other`, elementwise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`, elementwise (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`, elementwise.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Frobenius-norm squared (sum of squares) — used by loss-scaling
+    /// overflow checks and gradient-norm diagnostics.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// `C = A · B` where `A` is `m×k`, `B` is `k×n`. Parallel over rows
+    /// of `A`; the inner loops are k-outer so the `B` row is streamed
+    /// contiguously and the compiler vectorises the fused multiply-adds.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .zip(self.data.par_chunks(k))
+            .for_each(|(out_row, a_row)| {
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `C = A · Bᵀ` where `A` is `m×k`, `B` is `n×k`. Used by output
+    /// projections against embedding matrices, which are stored `V×D`.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .zip(self.data.par_chunks(k))
+            .for_each(|(out_row, a_row)| {
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            });
+        out
+    }
+
+    /// `C = Aᵀ · B` where `A` is `k×m`, `B` is `k×n`. Used by weight
+    /// gradients (`dW = xᵀ · dy`). Parallel over rows of the output.
+    pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "inner dimension mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for p in 0..k {
+                    let a = self.data[p * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length `cols`) to every row.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_mut(self.cols) {
+            for (x, &b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Sums the rows into a length-`cols` vector (bias gradients).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for row in self.data.chunks(self.cols) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference against another matrix (test helper,
+    /// also used by exchange-equivalence assertions in `lm`).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut eye = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        let a = Matrix::from_vec(4, 4, (0..16).map(|x| x as f32).collect());
+        assert_eq!(a.matmul(&eye).as_slice(), a.as_slice());
+        assert_eq!(eye.matmul(&a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32 * 0.25).collect());
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_transpose_b(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_a_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|x| x as f32 * 0.5 - 2.0).collect());
+        let via_t = a.transpose().matmul(&b);
+        let direct = a.transpose_a_matmul(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn add_row_bias_and_sum_rows() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_bias(&[1.0, -2.0]);
+        assert_eq!(m.as_slice(), &[1., -2., 1., -2., 1., -2.]);
+        assert_eq!(m.sum_rows(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![10., 20., 30.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6., 12., 18.]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[12., 24., 36.]);
+    }
+
+    #[test]
+    fn norm_sq() {
+        let m = Matrix::from_vec(1, 3, vec![3., 4., 0.]);
+        assert!((m.norm_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_matmul_matches_naive(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = Matrix::from_vec(m, k, (0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let b = Matrix::from_vec(k, n, (0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+        }
+
+        #[test]
+        fn transpose_involution(m in 1usize..6, n in 1usize..6) {
+            let a = Matrix::from_vec(m, n, (0..m*n).map(|x| x as f32).collect());
+            let tt = a.transpose().transpose();
+            prop_assert_eq!(tt.as_slice(), a.as_slice());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Walker's alias method for O(1) discrete sampling.
+//!
+//! Corpus generation draws tens of millions of tokens from vocabularies
+//! with millions of entries; inverse-CDF sampling (O(log V) per draw) is
+//! too slow and naive linear scans are hopeless. The alias method does a
+//! single table lookup plus one comparison per draw after O(V) setup.
+
+use rand::Rng;
+
+/// A pre-processed discrete distribution supporting O(1) sampling.
+///
+/// Construction is O(V); each [`AliasTable::sample`] is O(1). The table
+/// stores, per slot, a cut-off probability and an alias index, following
+/// Vose's numerically-stable construction.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let table = zipf::AliasTable::new(&[3.0, 1.0]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let heavy = (0..1000).filter(|_| table.sample(&mut rng) == 0).count();
+/// assert!(heavy > 650 && heavy < 850); // ≈ 75%
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Per-slot acceptance threshold, scaled to [0, 1).
+    prob: Vec<f64>,
+    /// Per-slot alias target used when the threshold test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from unnormalised non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN value, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to 2^32 outcomes"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive finite value"
+        );
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative and finite");
+        }
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        // Scaled probabilities; mean is exactly 1 by construction.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        let mut prob = vec![1.0f64; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // Move the borrowed mass from the large slot.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (numerical leftovers) keeps probability 1.
+        for &l in &large {
+            prob[l as usize] = 1.0;
+        }
+        for &s in &small {
+            prob[s as usize] = 1.0;
+        }
+
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes in the distribution.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never true post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in `0..len()`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let slot = rng.gen_range(0..n);
+        let coin: f64 = rng.gen();
+        if coin < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+
+    /// Fills `out` with independent draws; convenience for batch generation.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let expected = draws as f64 / 8.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_frequencies() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 5];
+        let draws = 160_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = draws as f64 * w / total;
+            assert!(
+                (counts[i] as f64 - expected).abs() < expected * 0.08,
+                "outcome {i}: got {}, expected {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn sample_many_fills_buffer() {
+        let table = AliasTable::new(&[1.0, 2.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = vec![99u32; 64];
+        table.sample_many(&mut rng, &mut buf);
+        assert!(buf.iter().all(|&t| t < 3));
+    }
+}

@@ -1,0 +1,151 @@
+//! Log–log least-squares power-law fitting.
+//!
+//! Figure 1 reports the fit `U = 7.02 · N^0.64` with `R² = 1.00`; this
+//! module produces those three numbers from measured `(N, U)` points by
+//! ordinary least squares on `ln U = ln a + α · ln N`.
+
+/// Result of fitting `y = a · x^α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Prefactor `a`.
+    pub prefactor: f64,
+    /// Exponent `α`.
+    pub exponent: f64,
+    /// Coefficient of determination in log–log space.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Evaluates the fitted law at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.prefactor * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = a·x^α` by least squares on logarithms.
+///
+/// Returns `None` if fewer than two points remain after dropping
+/// non-positive coordinates (logs undefined) or if all `x` are equal.
+///
+/// ```
+/// let xs = [10.0f64, 100.0, 1000.0];
+/// let ys: Vec<f64> = xs.iter().map(|&x| 7.02 * x.powf(0.64)).collect();
+/// let fit = zipf::fit_power_law(&xs, &ys).unwrap();
+/// assert!((fit.exponent - 0.64).abs() < 1e-9);
+/// assert!((fit.prefactor - 7.02).abs() < 1e-6);
+/// ```
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|&(&x, &y)| x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mean_x = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let syy: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+
+    Some(PowerLawFit {
+        prefactor: intercept.exp(),
+        exponent: slope,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let xs: Vec<f64> = (1..=20).map(|i| (i * i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 7.02 * x.powf(0.64)).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.prefactor - 7.02).abs() < 1e-9);
+        assert!((fit.exponent - 0.64).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_power_law_good_r2() {
+        let xs: Vec<f64> = (1..=50).map(|i| 10.0 * i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 3.0 * x.powf(0.5) * (1.0 + 0.02 * ((i % 5) as f64 - 2.0)))
+            .collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.exponent - 0.5).abs() < 0.02);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(fit_power_law(&[1.0], &[2.0]).is_none());
+        assert!(fit_power_law(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+        assert!(fit_power_law(&[-1.0, 0.0], &[1.0, 1.0]).is_none());
+        assert!(fit_power_law(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn non_positive_points_are_dropped_not_fatal() {
+        let xs = [0.0, 1.0, 10.0, 100.0];
+        let ys = [5.0, 2.0, 20.0, 200.0];
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_matches_definition() {
+        let fit = PowerLawFit {
+            prefactor: 2.0,
+            exponent: 0.5,
+            r_squared: 1.0,
+        };
+        assert!((fit.eval(16.0) - 8.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_arbitrary_power_laws(
+            a in 0.1f64..100.0,
+            alpha in -2.0f64..2.0,
+        ) {
+            let xs: Vec<f64> = (1..=30).map(|i| i as f64 * 3.0).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a * x.powf(alpha)).collect();
+            let fit = fit_power_law(&xs, &ys).unwrap();
+            prop_assert!((fit.exponent - alpha).abs() < 1e-6);
+            prop_assert!((fit.prefactor - a).abs() / a < 1e-6);
+            prop_assert!(fit.r_squared > 1.0 - 1e-9);
+        }
+
+        #[test]
+        fn r_squared_at_most_one(
+            ys in proptest::collection::vec(0.1f64..1000.0, 3..40)
+        ) {
+            let xs: Vec<f64> = (1..=ys.len()).map(|i| i as f64).collect();
+            if let Some(fit) = fit_power_law(&xs, &ys) {
+                prop_assert!(fit.r_squared <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

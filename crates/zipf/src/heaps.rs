@@ -1,0 +1,168 @@
+//! Type–token (Heaps' law) curve measurement — the data behind Figure 1.
+//!
+//! Figure 1 of the paper plots, for four corpora, the number of types `U`
+//! (unique words) seen after `N` tokens, on log–log axes, against the
+//! `x = y` "batch" baseline. The gap between the two is the headroom the
+//! uniqueness optimisation exploits. These helpers walk a token stream
+//! (or draw directly from a sampler) and record `U(N)` at log-spaced
+//! checkpoints.
+
+use rand::Rng;
+
+/// One point on a type–token curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapsPoint {
+    /// Total tokens consumed so far (`N`).
+    pub tokens: u64,
+    /// Distinct tokens seen so far (`U`).
+    pub types: u64,
+}
+
+/// Generates log-spaced checkpoints between `lo` and `hi` inclusive,
+/// `per_decade` points per decade, matching the paper's 5e2…5e7 sweep.
+pub fn log_checkpoints(lo: u64, hi: u64, per_decade: usize) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo && per_decade >= 1);
+    let mut points = Vec::new();
+    let llo = (lo as f64).log10();
+    let lhi = (hi as f64).log10();
+    let steps = ((lhi - llo) * per_decade as f64).ceil() as usize;
+    for i in 0..=steps {
+        let x = llo + (lhi - llo) * i as f64 / steps.max(1) as f64;
+        let v = 10f64.powf(x).round() as u64;
+        if points.last() != Some(&v) {
+            points.push(v);
+        }
+    }
+    points
+}
+
+/// Measures the type–token curve of an existing token slice.
+///
+/// `checkpoints` must be ascending; points beyond `stream.len()` are
+/// silently dropped. Uses a dense bitmap over the id space when the
+/// maximum id is modest, which it always is for our vocabularies.
+pub fn heaps_curve(stream: &[u32], checkpoints: &[u64]) -> Vec<HeapsPoint> {
+    debug_assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+    let max_id = stream.iter().copied().max().unwrap_or(0) as usize;
+    let mut seen = vec![false; max_id + 1];
+    let mut types = 0u64;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut next_cp = 0usize;
+    for (i, &tok) in stream.iter().enumerate() {
+        if !seen[tok as usize] {
+            seen[tok as usize] = true;
+            types += 1;
+        }
+        let n = (i + 1) as u64;
+        while next_cp < checkpoints.len() && checkpoints[next_cp] == n {
+            out.push(HeapsPoint { tokens: n, types });
+            next_cp += 1;
+        }
+    }
+    out
+}
+
+/// Measures the type–token curve by drawing tokens directly from a
+/// sampler — avoids materialising the multi-million-token streams used in
+/// the Figure 1 sweep.
+///
+/// `sample` returns a token id per call; `vocab` bounds the id space.
+pub fn heaps_curve_from_sampler<R, F>(
+    rng: &mut R,
+    vocab: usize,
+    checkpoints: &[u64],
+    mut sample: F,
+) -> Vec<HeapsPoint>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> usize,
+{
+    debug_assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+    let Some(&last) = checkpoints.last() else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; vocab];
+    let mut types = 0u64;
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut next_cp = 0usize;
+    for n in 1..=last {
+        let tok = sample(rng);
+        debug_assert!(tok < vocab);
+        if !seen[tok] {
+            seen[tok] = true;
+            types += 1;
+        }
+        while next_cp < checkpoints.len() && checkpoints[next_cp] == n {
+            out.push(HeapsPoint { tokens: n, types });
+            next_cp += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::ZipfMandelbrot;
+    use crate::fit::fit_power_law;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkpoints_are_log_spaced_and_unique() {
+        let cps = log_checkpoints(100, 100_000, 4);
+        assert_eq!(*cps.first().unwrap(), 100);
+        assert_eq!(*cps.last().unwrap(), 100_000);
+        assert!(cps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn curve_counts_types_exactly() {
+        let stream = [0u32, 0, 1, 2, 1, 3, 0, 4];
+        let curve = heaps_curve(&stream, &[1, 2, 4, 8]);
+        assert_eq!(
+            curve,
+            vec![
+                HeapsPoint { tokens: 1, types: 1 },
+                HeapsPoint { tokens: 2, types: 1 },
+                HeapsPoint { tokens: 4, types: 3 },
+                HeapsPoint { tokens: 8, types: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_and_bounded_by_n() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = ZipfMandelbrot::new(5_000, 1.3, 2.0);
+        let cps = log_checkpoints(10, 50_000, 5);
+        let curve = heaps_curve_from_sampler(&mut rng, 5_000, &cps, |r| dist.sample(r));
+        assert_eq!(curve.len(), cps.len());
+        for w in curve.windows(2) {
+            assert!(w[1].types >= w[0].types);
+        }
+        for p in &curve {
+            assert!(p.types <= p.tokens);
+            assert!(p.types <= 5_000);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_gives_power_law_types() {
+        // The central claim behind Figure 1: U ∝ N^α with α ≈ 1/s.
+        let mut rng = StdRng::seed_from_u64(17);
+        let s = 1.5625; // targets α ≈ 0.64
+        let dist = ZipfMandelbrot::new(500_000, s, 4.0);
+        let cps = log_checkpoints(1_000, 1_000_000, 3);
+        let curve = heaps_curve_from_sampler(&mut rng, 500_000, &cps, |r| dist.sample(r));
+        let xs: Vec<f64> = curve.iter().map(|p| p.tokens as f64).collect();
+        let ys: Vec<f64> = curve.iter().map(|p| p.types as f64).collect();
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!(
+            fit.exponent > 0.5 && fit.exponent < 0.8,
+            "exponent {}",
+            fit.exponent
+        );
+        assert!(fit.r_squared > 0.97, "r2 {}", fit.r_squared);
+    }
+}

@@ -1,0 +1,33 @@
+//! Zipfian statistics substrate for `zipf-lm`.
+//!
+//! "Language Modeling at Scale" (Patwary et al., 2019) rests on one
+//! empirical observation: the number of *types* (unique words, `U`) in a
+//! batch of *tokens* (`N`) grows sub-linearly, `U ∝ N^α` with `α ≈ 0.64`
+//! (the paper's Figure 1). This crate provides everything needed to
+//! generate, measure and fit that behaviour:
+//!
+//! * [`alias::AliasTable`] — O(1) sampling from arbitrary discrete
+//!   distributions (Walker's alias method), the workhorse behind both the
+//!   corpus generators and the log-uniform sampled-softmax sampler.
+//! * [`distribution::ZipfMandelbrot`] — the rank-frequency law
+//!   `p(r) ∝ (r + q)^{-s}` used to synthesise corpora whose type–token
+//!   curve matches the paper's datasets.
+//! * [`freq::FrequencyTable`] — token counting, rank assignment and
+//!   empirical rank-frequency extraction.
+//! * [`heaps`] — type–token (Heaps' law) curve measurement over a token
+//!   stream, the data behind Figure 1.
+//! * [`fit`] — log–log least-squares power-law fitting with R², producing
+//!   the `U = a·N^α` fits the paper reports (`a = 7.02`, `α = 0.64`,
+//!   `R² = 1.00`).
+
+pub mod alias;
+pub mod distribution;
+pub mod fit;
+pub mod freq;
+pub mod heaps;
+
+pub use alias::AliasTable;
+pub use distribution::{LogUniform, Zipf, ZipfMandelbrot};
+pub use fit::{fit_power_law, PowerLawFit};
+pub use freq::FrequencyTable;
+pub use heaps::{heaps_curve, heaps_curve_from_sampler, HeapsPoint};

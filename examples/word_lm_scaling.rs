@@ -1,0 +1,71 @@
+//! Strong-scaling demo: the word LM across 1–8 simulated GPUs, baseline
+//! vs techniques — a miniature of the paper's Table III, measured (not
+//! modeled) on the thread-per-GPU simulator, including the baseline's
+//! OOM cliff under a fixed device-memory cap.
+//!
+//! ```sh
+//! cargo run --release --example word_lm_scaling
+//! ```
+
+use zipf_lm::{train, train_with_memory_limit, Method, ModelKind, TrainConfig, TrainError};
+
+fn cfg(gpus: usize, method: Method) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Word { vocab: 800 },
+        gpus,
+        batch: 8,
+        seq_len: 16,
+        steps_per_epoch: 20,
+        epochs: 1,
+        base_lr: 0.4,
+        lr_decay: 0.95,
+        method,
+        seed: 11,
+        tokens: 300_000,
+    }
+}
+
+fn main() {
+    println!(
+        "{:>5} {:>15} {:>15} {:>12} {:>12} {:>8}",
+        "GPUs", "base bytes/step", "ours bytes/step", "base mem", "ours mem", "Ug/step"
+    );
+    let mut base_peak_8 = 0;
+    let mut ours_peak_8 = 0;
+    for g in [1usize, 2, 4, 8] {
+        let base = train(&cfg(g, Method::baseline())).expect("baseline");
+        let ours = train(&cfg(g, Method::full())).expect("ours");
+        if g == 8 {
+            base_peak_8 = base.peak_mem_bytes;
+            ours_peak_8 = ours.peak_mem_bytes;
+        }
+        println!(
+            "{g:>5} {:>15.0} {:>15.0} {:>12} {:>12} {:>8.0}",
+            base.mean_step_bytes(),
+            ours.mean_step_bytes(),
+            base.peak_mem_bytes,
+            ours.peak_mem_bytes,
+            ours.mean_unique_global
+        );
+    }
+
+    // Now impose a device cap between the two 8-GPU peak usages: the
+    // baseline must die the way the Titan X's 12 GB kills it in Table
+    // III, while the unique path sails through.
+    let cap = (base_peak_8 + ours_peak_8) / 2;
+    println!("\nrerunning at 8 GPUs with a {cap}-byte device cap:");
+    let verdict = |r: Result<zipf_lm::TrainReport, TrainError>| match r {
+        Ok(rep) => format!("ok (ppl {:.1})", rep.final_ppl()),
+        Err(TrainError::Oom(e)) => format!("OUT OF MEMORY ({e})"),
+        Err(e) => format!("{e}"),
+    };
+    println!(
+        "  baseline       : {}",
+        verdict(train_with_memory_limit(&cfg(8, Method::baseline()), cap))
+    );
+    println!(
+        "  with techniques: {}",
+        verdict(train_with_memory_limit(&cfg(8, Method::full()), cap))
+    );
+    println!("\nfull-scale (calibrated) version: `cargo run -p zlm-bench --bin repro table3`");
+}

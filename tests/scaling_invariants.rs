@@ -1,0 +1,170 @@
+//! The paper's complexity claims, asserted against *measured* wire bytes
+//! and buffer sizes across GPU sweeps: baseline Θ(G·K·D) vs uniqueness
+//! Θ(G·K + Ug·D), plus the Ug ∝ (G·K)^0.64 law end-to-end through the
+//! trainer, and the perfmodel's full-scale invariants.
+
+use perfmodel::{TechniqueStack, WordScale};
+use zipf::fit_power_law;
+use zipf_lm::{train, Method, ModelKind, SeedStrategy, TrainConfig};
+
+fn cfg(gpus: usize, method: Method) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Word { vocab: 3000 },
+        gpus,
+        batch: 8,
+        seq_len: 16,
+        steps_per_epoch: 4,
+        epochs: 1,
+        base_lr: 0.2,
+        lr_decay: 0.95,
+        method,
+        seed: 77,
+        tokens: 120_000,
+    }
+}
+
+#[test]
+fn baseline_exchange_bytes_scale_linearly_with_g() {
+    // Per-rank exchange wire bytes under baseline ∝ (G−1)·K·D.
+    let grab = |g: usize| {
+        let rep = train(&cfg(g, Method::baseline())).expect("run");
+        rep.steps[0].input_exchange.wire_bytes as f64
+    };
+    let b2 = grab(2);
+    let b8 = grab(8);
+    let ratio = b8 / b2;
+    assert!((ratio - 7.0).abs() < 0.8, "ratio {ratio} (expect ≈ (8−1)/(2−1))");
+}
+
+#[test]
+fn unique_exchange_bytes_scale_sublinearly_vs_baseline() {
+    // At 4× the GPUs, the unique path's wire-byte growth must be
+    // clearly below the baseline's (whose per-rank bytes grow ∝ G−1).
+    let grab = |m: Method, g: usize| {
+        let rep = train(&cfg(g, m)).expect("run");
+        rep.steps[0].input_exchange.wire_bytes as f64
+    };
+    let u_ratio = grab(Method::unique_seeded(), 8) / grab(Method::unique_seeded(), 2);
+    let b_ratio = grab(Method::baseline(), 8) / grab(Method::baseline(), 2);
+    assert!(
+        u_ratio < 0.8 * b_ratio,
+        "unique growth {u_ratio:.2} vs baseline growth {b_ratio:.2}"
+    );
+    // And Ug itself grows sublinearly: 4× tokens, < 3× unique words.
+    let ug = |g: usize| {
+        train(&cfg(g, Method::unique_seeded()))
+            .expect("run")
+            .mean_unique_global
+    };
+    let ug_ratio = ug(8) / ug(2);
+    assert!(ug_ratio < 3.0, "Ug ratio {ug_ratio:.2}");
+}
+
+#[test]
+fn unique_global_follows_power_law_through_trainer() {
+    // Measure Ug end-to-end across a G sweep and fit Ug = a·(G·K)^α.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for g in [1usize, 2, 4, 8] {
+        let c = cfg(g, Method::unique_seeded());
+        let rep = train(&c).expect("run");
+        xs.push((g * c.local_batch_tokens()) as f64);
+        ys.push(rep.mean_unique_global);
+    }
+    let fit = fit_power_law(&xs, &ys).unwrap();
+    assert!(
+        (0.4..0.95).contains(&fit.exponent),
+        "measured exponent {} (paper: 0.64)",
+        fit.exponent
+    );
+    assert!(fit.r_squared > 0.95, "r2 {}", fit.r_squared);
+}
+
+#[test]
+fn peak_memory_baseline_grows_ours_stays_flat() {
+    // Compare *growth over the 2-GPU point*, which isolates the
+    // exchange buffers from the G-independent model allocation.
+    let peak = |g: usize, m: Method| train(&cfg(g, m)).expect("run").peak_mem_bytes as f64;
+    let b_growth = peak(8, Method::baseline()) - peak(2, Method::baseline());
+    let u_growth = peak(8, Method::unique_seeded()) - peak(2, Method::unique_seeded());
+    assert!(b_growth > 100_000.0, "baseline growth too small: {b_growth}");
+    assert!(
+        b_growth > 3.0 * u_growth.max(1.0),
+        "baseline growth {b_growth} vs ours {u_growth}"
+    );
+}
+
+#[test]
+fn seeding_strategies_order_output_exchange_size() {
+    // Fewer seeds ⇒ fewer unique sampled words ⇒ smaller output
+    // exchange; the ordering must be monotone in the seed count.
+    let ug = |s: SeedStrategy| {
+        let rep = train(&cfg(8, Method {
+            unique: true,
+            seeding: s,
+            compression: None,
+        }))
+        .expect("run");
+        rep.steps
+            .iter()
+            .filter_map(|st| st.output_exchange.map(|e| e.unique_global))
+            .sum::<usize>() as f64
+            / rep.steps.len() as f64
+    };
+    let all_same = ug(SeedStrategy::AllSame);
+    let log10 = ug(SeedStrategy::Log10);
+    let zipf = ug(SeedStrategy::ZipfFreq);
+    let per_gpu = ug(SeedStrategy::PerGpu);
+    assert!(
+        all_same <= log10 && log10 <= zipf && zipf <= per_gpu,
+        "ordering violated: same {all_same}, log10 {log10}, zipf {zipf}, perGpu {per_gpu}"
+    );
+    assert!(per_gpu > 1.5 * all_same, "spread too small to be meaningful");
+}
+
+#[test]
+fn compression_halves_wire_bytes() {
+    let bytes = |m: Method| {
+        train(&cfg(4, m))
+            .expect("run")
+            .traffic
+            .total_bytes() as f64
+    };
+    let plain = bytes(Method::unique_seeded());
+    let compressed = bytes(Method::full());
+    let ratio = plain / compressed;
+    // Index gathers stay 4-byte, so the ratio is below 2 but well above 1.
+    assert!((1.3..2.05).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn perfmodel_memory_crossover_between_24_and_32() {
+    let m = WordScale::paper();
+    let limit = 12.0 * 1.0737; // 12 GiB in GB
+    assert!(m.memory_gb(24, TechniqueStack::Baseline) < limit);
+    assert!(m.memory_gb(32, TechniqueStack::Baseline) > limit);
+    for g in [8usize, 16, 24, 32, 64, 128, 192] {
+        assert!(
+            m.memory_gb(g, TechniqueStack::Full) < 2.0,
+            "ours must stay ~1.2 GB at {g} GPUs"
+        );
+    }
+}
+
+#[test]
+fn perfmodel_unique_rows_match_trainer_law() {
+    // The perfmodel's unique-word law and the trainer's measured Ug must
+    // agree in *exponent* (the law is shared; prefactors differ by
+    // vocabulary truncation).
+    let m = WordScale::paper();
+    let xs: Vec<f64> = [8usize, 16, 24]
+        .iter()
+        .map(|&g| (g * 640) as f64)
+        .collect();
+    let ys: Vec<f64> = [8usize, 16, 24]
+        .iter()
+        .map(|&g| m.input_rows(g, TechniqueStack::Full) as f64)
+        .collect();
+    let fit = fit_power_law(&xs, &ys).unwrap();
+    assert!((fit.exponent - 0.64).abs() < 0.01, "exponent {}", fit.exponent);
+}
