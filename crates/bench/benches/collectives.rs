@@ -96,5 +96,10 @@ fn bench_allgather(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_allgather, bench_hierarchy_ablation);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_allgather,
+    bench_hierarchy_ablation
+);
 criterion_main!(benches);

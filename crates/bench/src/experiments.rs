@@ -29,8 +29,7 @@ pub fn fig1(max_tokens: u64, seed: u64) -> Vec<HeapsSeries> {
             let dist = ZipfMandelbrot::new(p.word_types, p.zipf_s, p.zipf_q);
             let cps = log_checkpoints(500, max_tokens, 4);
             let mut rng = StdRng::seed_from_u64(seed);
-            let points =
-                heaps_curve_from_sampler(&mut rng, p.word_types, &cps, |r| dist.sample(r));
+            let points = heaps_curve_from_sampler(&mut rng, p.word_types, &cps, |r| dist.sample(r));
             let xs: Vec<f64> = points.iter().map(|q| q.tokens as f64).collect();
             let ys: Vec<f64> = points.iter().map(|q| q.types as f64).collect();
             let fit = fit_power_law(&xs, &ys).expect("fit");
@@ -62,9 +61,11 @@ pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
         .into_iter()
         .map(|p| {
             let (unit, n, bytes_per_char) = match p.language {
-                corpus::Language::Chinese => {
-                    (TokenUnit::Char, (p.paper_chars_billion * 1e9 / scale) as usize, 3)
-                }
+                corpus::Language::Chinese => (
+                    TokenUnit::Char,
+                    (p.paper_chars_billion * 1e9 / scale) as usize,
+                    3,
+                ),
                 corpus::Language::English => (
                     TokenUnit::Word,
                     (p.paper_words_billion.unwrap_or(1.0) * 1e9 / scale) as usize,

@@ -96,8 +96,14 @@ impl ExactSizeIterator for BatchIter<'_> {
 ///
 /// Returns an empty iterator if the shard is too small for even one step.
 pub fn shard_batches(tokens: &[u32], spec: BatchSpec, rank: usize, world: usize) -> BatchIter<'_> {
-    assert!(world >= 1 && rank < world, "rank {rank} out of world {world}");
-    assert!(spec.batch >= 1 && spec.seq_len >= 1, "degenerate batch spec");
+    assert!(
+        world >= 1 && rank < world,
+        "rank {rank} out of world {world}"
+    );
+    assert!(
+        spec.batch >= 1 && spec.seq_len >= 1,
+        "degenerate batch spec"
+    );
 
     let shard_len = tokens.len() / world;
     let shard = &tokens[rank * shard_len..(rank + 1) * shard_len];
@@ -127,7 +133,10 @@ mod tests {
     #[test]
     fn targets_are_inputs_shifted() {
         let tokens: Vec<u32> = (0..100).collect();
-        let spec = BatchSpec { batch: 2, seq_len: 5 };
+        let spec = BatchSpec {
+            batch: 2,
+            seq_len: 5,
+        };
         let batches: Vec<Batch> = shard_batches(&tokens, spec, 0, 1).collect();
         assert!(!batches.is_empty());
         for b in &batches {
@@ -144,7 +153,10 @@ mod tests {
     #[test]
     fn lanes_are_contiguous_streams_across_steps() {
         let tokens: Vec<u32> = (0..1000).collect();
-        let spec = BatchSpec { batch: 4, seq_len: 7 };
+        let spec = BatchSpec {
+            batch: 4,
+            seq_len: 7,
+        };
         let batches: Vec<Batch> = shard_batches(&tokens, spec, 0, 1).collect();
         for lane in 0..4 {
             let mut prev_last = None;
@@ -161,21 +173,29 @@ mod tests {
     #[test]
     fn shards_are_disjoint() {
         let tokens: Vec<u32> = (0..1200).collect();
-        let spec = BatchSpec { batch: 2, seq_len: 4 };
+        let spec = BatchSpec {
+            batch: 2,
+            seq_len: 4,
+        };
         let b0: Vec<u32> = shard_batches(&tokens, spec, 0, 3)
             .flat_map(|b| b.inputs)
             .collect();
         let b2: Vec<u32> = shard_batches(&tokens, spec, 2, 3)
             .flat_map(|b| b.inputs)
             .collect();
-        assert!(b0.iter().all(|t| b2.binary_search(t).is_err() || !b2.contains(t)));
+        assert!(b0
+            .iter()
+            .all(|t| b2.binary_search(t).is_err() || !b2.contains(t)));
         assert!(b0.iter().max() < b2.iter().min());
     }
 
     #[test]
     fn step_count_uses_full_lane() {
         let tokens: Vec<u32> = (0..101).collect(); // 1 lane of 101
-        let spec = BatchSpec { batch: 1, seq_len: 10 };
+        let spec = BatchSpec {
+            batch: 1,
+            seq_len: 10,
+        };
         let it = shard_batches(&tokens, spec, 0, 1);
         assert_eq!(it.len(), 10); // (101-1)/10
     }
@@ -183,13 +203,19 @@ mod tests {
     #[test]
     fn too_small_shard_yields_nothing() {
         let tokens: Vec<u32> = (0..8).collect();
-        let spec = BatchSpec { batch: 4, seq_len: 5 };
+        let spec = BatchSpec {
+            batch: 4,
+            seq_len: 5,
+        };
         assert_eq!(shard_batches(&tokens, spec, 0, 1).count(), 0);
     }
 
     #[test]
     fn tokens_per_step() {
-        let spec = BatchSpec { batch: 32, seq_len: 20 };
+        let spec = BatchSpec {
+            batch: 32,
+            seq_len: 20,
+        };
         // The paper's word-LM local batch: 32 sequences × 20 tokens = 640.
         assert_eq!(spec.tokens_per_step(), 640);
     }
@@ -198,6 +224,14 @@ mod tests {
     #[should_panic(expected = "out of world")]
     fn bad_rank_panics() {
         let tokens = [0u32; 10];
-        shard_batches(&tokens, BatchSpec { batch: 1, seq_len: 2 }, 3, 2);
+        shard_batches(
+            &tokens,
+            BatchSpec {
+                batch: 1,
+                seq_len: 2,
+            },
+            3,
+            2,
+        );
     }
 }

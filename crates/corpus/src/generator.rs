@@ -90,8 +90,8 @@ impl CorpusGenerator {
     /// bucket's successor is one fixed draw from the Zipf law, so the
     /// marginal over contexts remains Zipfian.
     fn successor(&self, prev: u32, prev2: u32) -> u32 {
-        let ctx = (prev as u64).wrapping_mul(31).wrapping_add(prev2 as u64)
-            % self.context_buckets as u64;
+        let ctx =
+            (prev as u64).wrapping_mul(31).wrapping_add(prev2 as u64) % self.context_buckets as u64;
         let mut r = StdRng::seed_from_u64(mix(self.successor_seed ^ ctx));
         self.dist.sample(&mut r) as u32
     }

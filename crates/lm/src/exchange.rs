@@ -15,9 +15,23 @@
 //!   Per-GPU cost `Θ(G·K + Ug·D)`.
 //!
 //! Either path can run with FP16 wire compression (§III-C).
+//!
+//! ## The hot path is allocation-free
+//!
+//! Both exchanges thread an [`ExchangeScratch`] pool through every step:
+//! gathered indices, locally-reduced rows, the canonical unique set and
+//! the `Ug×D` scatter matrix all live in reused buffers, so steady-state
+//! steps perform **zero heap allocation**. The global unique set is
+//! derived in `O(G·K)` with an epoch-stamped vocabulary slot map instead
+//! of the former `sort_unstable + dedup + binary_search` over all `G·K`
+//! gathered indices: the gathered index vector is identical on every
+//! rank (rank-order ALLGATHER), so *first-occurrence order within it* is
+//! already a canonical total order every rank derives independently.
+//! Per-phase wall-time (gather / unique / scatter / allreduce / apply)
+//! is recorded into [`PhaseTimings`] via [`simgpu::PhaseTimer`].
 
 use nn::{Embedding, SparseGrad};
-use simgpu::Rank;
+use simgpu::{PhaseTimer, Rank};
 
 /// How to run an exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +68,42 @@ impl ExchangeConfig {
     }
 }
 
+/// Wall-clock nanoseconds per exchange phase, measured on this rank.
+///
+/// Integer nanos (not floats) so the containing [`ExchangeStats`] stays
+/// `Eq`. On the thread-per-rank simulator these include barrier waits,
+/// so they rank the *implementation* (allocation, sorting, scatter
+/// cost), not the modelled fabric — the α–β cost model covers that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Index (and, for the baseline, row) ALLGATHER time.
+    pub gather_ns: u64,
+    /// Local duplicate reduction + global unique-set derivation.
+    pub unique_ns: u64,
+    /// Scatter of reduced rows into the canonical `Ug×D` layout.
+    pub scatter_ns: u64,
+    /// Ring ALLREDUCE of the aligned matrices.
+    pub allreduce_ns: u64,
+    /// Application of the synchronised update to the local table.
+    pub apply_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.gather_ns + self.unique_ns + self.scatter_ns + self.allreduce_ns + self.apply_ns
+    }
+
+    /// Elementwise accumulation (for per-run totals).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.gather_ns += other.gather_ns;
+        self.unique_ns += other.unique_ns;
+        self.scatter_ns += other.scatter_ns;
+        self.allreduce_ns += other.allreduce_ns;
+        self.apply_ns += other.apply_ns;
+    }
+}
+
 /// What one exchange cost this rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExchangeStats {
@@ -70,9 +120,101 @@ pub struct ExchangeStats {
     /// scattered gradient state (the quantity that runs GPUs out of
     /// memory in Tables III/IV).
     pub peak_buffer_bytes: u64,
+    /// Measured wall-time per phase on this rank.
+    pub timings: PhaseTimings,
 }
 
-/// Dispatches on `cfg` to one of the two exchange implementations.
+/// Reusable buffers for the exchange hot path.
+///
+/// One scratch per (rank, table) pair, threaded through every step, so
+/// the steady state allocates nothing: `Vec::clear` keeps capacity, and
+/// the vocabulary-sized slot map is epoch-stamped — bumping `epoch`
+/// invalidates every entry in O(1) instead of clearing the arrays.
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    /// Gathered `G·K` index vector (identical on all ranks).
+    all_indices: Vec<u32>,
+    /// Gathered `G·K×D` rows (baseline path only).
+    all_rows: Vec<f32>,
+    /// Locally-unique indices `Ĵ`, first-occurrence order.
+    reduced_indices: Vec<u32>,
+    /// Locally-reduced rows `∆̂`, aligned with `reduced_indices`.
+    reduced_rows: Vec<f32>,
+    /// Canonical globally-unique index set `Î`.
+    unique: Vec<u32>,
+    /// Canonical `Ug×D` scatter/ALLREDUCE matrix `M`.
+    m: Vec<f32>,
+    /// `word → slot` for the epoch that stamped it (vocab-sized).
+    slot_of: Vec<u32>,
+    /// Epoch that last wrote `slot_of[word]` (vocab-sized).
+    epoch_of: Vec<u64>,
+    /// Current epoch; bumped once per slot-map use.
+    epoch: u64,
+}
+
+impl ExchangeScratch {
+    /// An empty pool; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the slot map to cover `vocab` words (no-op once sized).
+    fn ensure_vocab(&mut self, vocab: usize) {
+        if self.slot_of.len() < vocab {
+            self.slot_of.resize(vocab, 0);
+            self.epoch_of.resize(vocab, 0);
+        }
+    }
+
+    /// Steps 1–2 of §III-A in O(K): deduplicate `grad` into
+    /// `reduced_indices` / `reduced_rows` (first-occurrence order,
+    /// duplicate rows summed) using the epoch-stamped slot map.
+    fn local_reduce(&mut self, grad: &SparseGrad, d: usize) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.reduced_indices.clear();
+        self.reduced_rows.clear();
+        for (i, &idx) in grad.indices.iter().enumerate() {
+            let w = idx as usize;
+            let row = grad.rows.row(i);
+            if self.epoch_of[w] == epoch {
+                let slot = self.slot_of[w] as usize;
+                let dst = &mut self.reduced_rows[slot * d..(slot + 1) * d];
+                for (a, &b) in dst.iter_mut().zip(row) {
+                    *a += b;
+                }
+            } else {
+                self.epoch_of[w] = epoch;
+                self.slot_of[w] = self.reduced_indices.len() as u32;
+                self.reduced_indices.push(idx);
+                self.reduced_rows.extend_from_slice(row);
+            }
+        }
+    }
+
+    /// Step 4 of §III-A in O(G·K): derive the canonical unique set from
+    /// the gathered index vector. `all_indices` is the same on every
+    /// rank, so first-occurrence order within it *is* a total order all
+    /// ranks agree on — no sort needed. Leaves `slot_of[w]` valid for
+    /// every `w` in the set (current epoch).
+    fn global_unique(&mut self) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.unique.clear();
+        for i in 0..self.all_indices.len() {
+            let w = self.all_indices[i] as usize;
+            if self.epoch_of[w] != epoch {
+                self.epoch_of[w] = epoch;
+                self.slot_of[w] = self.unique.len() as u32;
+                self.unique.push(self.all_indices[i]);
+            }
+        }
+    }
+}
+
+/// Dispatches on `cfg` with a throwaway scratch pool. Convenience for
+/// one-shot callers and tests; hot loops should hold an
+/// [`ExchangeScratch`] and call [`exchange_and_apply_with`].
 pub fn exchange_and_apply(
     rank: &Rank,
     grad: &SparseGrad,
@@ -80,16 +222,28 @@ pub fn exchange_and_apply(
     lr: f32,
     cfg: &ExchangeConfig,
 ) -> ExchangeStats {
+    let mut scratch = ExchangeScratch::new();
+    exchange_and_apply_with(rank, grad, table, lr, cfg, &mut scratch)
+}
+
+/// Dispatches on `cfg` to one of the two exchange implementations,
+/// reusing `scratch`'s buffers (zero steady-state allocation).
+pub fn exchange_and_apply_with(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    cfg: &ExchangeConfig,
+    scratch: &mut ExchangeScratch,
+) -> ExchangeStats {
     if cfg.unique {
-        unique_exchange(rank, grad, table, lr, cfg.compression)
+        unique_exchange_with(rank, grad, table, lr, cfg.compression, scratch)
     } else {
-        baseline_exchange(rank, grad, table, lr, cfg.compression)
+        baseline_exchange_with(rank, grad, table, lr, cfg.compression, scratch)
     }
 }
 
-/// The baseline dense exchange (§II-B): ALLGATHER of indices and full
-/// `K×D` gradients from every GPU, then sequential local application in
-/// rank order (deterministic, so all replicas stay identical).
+/// [`baseline_exchange_with`] with a throwaway scratch pool.
 pub fn baseline_exchange(
     rank: &Rank,
     grad: &SparseGrad,
@@ -97,33 +251,52 @@ pub fn baseline_exchange(
     lr: f32,
     compression: Option<f32>,
 ) -> ExchangeStats {
+    let mut scratch = ExchangeScratch::new();
+    baseline_exchange_with(rank, grad, table, lr, compression, &mut scratch)
+}
+
+/// The baseline dense exchange (§II-B): ALLGATHER of indices and full
+/// `K×D` gradients from every GPU, then sequential local application in
+/// rank order (deterministic, so all replicas stay identical).
+pub fn baseline_exchange_with(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+    scratch: &mut ExchangeScratch,
+) -> ExchangeStats {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
+    let mut timer = PhaseTimer::start();
+    let mut timings = PhaseTimings::default();
 
-    let all_indices = rank.all_gather_u32(&grad.indices);
-    let all_rows = match compression {
-        Some(scale) => rank.all_gather_f16(grad.rows.as_slice(), scale),
-        None => rank.all_gather_f32(grad.rows.as_slice()),
-    };
-    debug_assert_eq!(all_rows.len(), all_indices.len() * d);
+    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices);
+    match compression {
+        Some(scale) => rank.all_gather_f16_into(grad.rows.as_slice(), scale, &mut scratch.all_rows),
+        None => rank.all_gather_f32_into(grad.rows.as_slice(), &mut scratch.all_rows),
+    }
+    debug_assert_eq!(scratch.all_rows.len(), scratch.all_indices.len() * d);
+    timings.gather_ns = timer.lap_ns();
 
     // Apply every gathered row in (rank, token) order. Repeated indices
     // accumulate — this is the serialised scatter-add the paper
     // describes, complete with its duplicate-row hazard.
-    for (i, &idx) in all_indices.iter().enumerate() {
-        let row = &all_rows[i * d..(i + 1) * d];
+    for (i, &idx) in scratch.all_indices.iter().enumerate() {
+        let row = &scratch.all_rows[i * d..(i + 1) * d];
         let dst = table.weights_mut().row_mut(idx as usize);
         for (w, &v) in dst.iter_mut().zip(row) {
             *w -= lr * v;
         }
     }
+    timings.apply_ns = timer.lap_ns();
 
     let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
     let wire_bytes = (n_local as u64) * (d as u64) * elem_bytes * (g as u64 - 1)
         + (n_local as u64) * 4 * (g as u64 - 1);
     // The gathered buffers live simultaneously: G·K indices + G·K·D rows.
-    let total_rows = all_indices.len() as u64;
+    let total_rows = scratch.all_indices.len() as u64;
     let peak_buffer_bytes = total_rows * 4 + total_rows * (d as u64) * 4;
 
     ExchangeStats {
@@ -132,10 +305,11 @@ pub fn baseline_exchange(
         unique_global: 0,
         wire_bytes,
         peak_buffer_bytes,
+        timings,
     }
 }
 
-/// The uniqueness exchange — §III-A, steps 1–7.
+/// [`unique_exchange_with`] with a throwaway scratch pool.
 pub fn unique_exchange(
     rank: &Rank,
     grad: &SparseGrad,
@@ -143,53 +317,82 @@ pub fn unique_exchange(
     lr: f32,
     compression: Option<f32>,
 ) -> ExchangeStats {
+    let mut scratch = ExchangeScratch::new();
+    unique_exchange_with(rank, grad, table, lr, compression, &mut scratch)
+}
+
+/// The uniqueness exchange — §III-A, steps 1–7 — on pooled buffers.
+pub fn unique_exchange_with(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+    scratch: &mut ExchangeScratch,
+) -> ExchangeStats {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
+    scratch.ensure_vocab(table.vocab());
+    let mut timer = PhaseTimer::start();
+    let mut timings = PhaseTimings::default();
 
-    // Steps 1–2: local unique indices Ĵ and locally-reduced gradients ∆̂.
-    let reduced = grad.local_reduce();
-    let u_local = reduced.indices.len();
+    // Steps 1–2: local unique indices Ĵ and locally-reduced gradients ∆̂
+    // (O(K) epoch-map pass — no hashing, no allocation).
+    scratch.local_reduce(grad, d);
+    let u_local = scratch.reduced_indices.len();
+    timings.unique_ns = timer.lap_ns();
 
     // Step 3: ALLGATHER the *index* vectors J (Θ(G·K), not Θ(G·K·D)).
-    let all_indices = rank.all_gather_u32(&grad.indices);
+    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices);
+    timings.gather_ns = timer.lap_ns();
 
-    // Step 4: filter to the globally-unique, totally-ordered index set Î.
-    // Sorting gives the total order, so every rank derives the identical
-    // slot assignment without further communication.
-    let mut unique: Vec<u32> = all_indices.clone();
-    unique.sort_unstable();
-    unique.dedup();
-    let u_global = unique.len();
+    // Step 4: filter to the globally-unique, canonically-ordered index
+    // set Î in O(G·K). The gathered vector is identical on every rank,
+    // so first-occurrence order is a total order all ranks agree on —
+    // the slot assignment needs no sort and no further communication.
+    scratch.global_unique();
+    let u_global = scratch.unique.len();
+    timings.unique_ns += timer.lap_ns();
 
     // Step 5: scatter ∆̂ into the canonical Ug×D layout M (zeros filled).
-    let mut m = vec![0.0f32; u_global * d];
-    for (i, &idx) in reduced.indices.iter().enumerate() {
-        let slot = unique.binary_search(&idx).expect("local index missing from global set");
-        m[slot * d..(slot + 1) * d].copy_from_slice(reduced.rows.row(i));
+    // `slot_of` still holds this epoch's global slots, giving O(1)
+    // lookup per locally-unique row.
+    scratch.m.clear();
+    scratch.m.resize(u_global * d, 0.0);
+    for (i, &idx) in scratch.reduced_indices.iter().enumerate() {
+        let slot = scratch.slot_of[idx as usize] as usize;
+        scratch.m[slot * d..(slot + 1) * d]
+            .copy_from_slice(&scratch.reduced_rows[i * d..(i + 1) * d]);
     }
+    timings.scatter_ns = timer.lap_ns();
 
     // Step 6: ALLREDUCE the aligned matrices.
     match compression {
-        Some(scale) => rank.all_reduce_sum_f16(&mut m, scale),
-        None => rank.all_reduce_sum(&mut m),
+        Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale),
+        None => rank.all_reduce_sum(&mut scratch.m),
     }
+    timings.allreduce_ns = timer.lap_ns();
 
     // Step 7: apply M̂ through Î. Indices are unique ⇒ no duplicate-row
     // serialisation.
-    for (slot, &idx) in unique.iter().enumerate() {
+    for (slot, &idx) in scratch.unique.iter().enumerate() {
         let dst = table.weights_mut().row_mut(idx as usize);
-        for (w, &v) in dst.iter_mut().zip(&m[slot * d..(slot + 1) * d]) {
+        for (w, &v) in dst.iter_mut().zip(&scratch.m[slot * d..(slot + 1) * d]) {
             *w -= lr * v;
         }
     }
+    timings.apply_ns = timer.lap_ns();
 
     let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
-    // Index gather: K·4·(G−1); ring allreduce: 2(G−1)/G · Ug·D·elem.
+    // Index gather: K·4·(G−1); ring ALLREDUCE: exact per-rank bytes from
+    // the ring's own chunk schedule (matches the traffic recorder even
+    // when Ug·D does not divide by G).
     let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1)
-        + (2 * (g as u64 - 1) * (u_global as u64) * (d as u64) * elem_bytes) / (g as u64).max(1);
+        + simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes);
     // Buffers: G·K gathered indices + Ug·D scatter matrix.
-    let peak_buffer_bytes = (all_indices.len() as u64) * 4 + (u_global as u64) * (d as u64) * 4;
+    let peak_buffer_bytes =
+        (scratch.all_indices.len() as u64) * 4 + (u_global as u64) * (d as u64) * 4;
 
     ExchangeStats {
         local_tokens: n_local,
@@ -197,6 +400,7 @@ pub fn unique_exchange(
         unique_global: u_global,
         wire_bytes,
         peak_buffer_bytes,
+        timings,
     }
 }
 
@@ -383,7 +587,7 @@ mod tests {
                 let grad = make_grad(rank.rank() as u64, 16);
                 baseline_exchange(&rank, &grad, &mut table, 0.1, None)
             })[0]
-            .peak_buffer_bytes
+                .peak_buffer_bytes
         };
         let b2 = grab(2);
         let b4 = grab(4);
@@ -419,5 +623,164 @@ mod tests {
     fn single_gpu_exchange_is_pure_local_update() {
         let res = exchange_result(1, ExchangeConfig::unique());
         assert_eq!(res[0].1.wire_bytes, 0);
+    }
+
+    #[test]
+    fn scratch_local_reduce_matches_hashmap_reference() {
+        let grad = SparseGrad {
+            indices: vec![3, 1, 3, 3, 9, 1],
+            rows: Matrix::from_vec(6, 2, vec![1., 1., 5., 5., 2., 2., 4., 4., 8., 8., 1., 1.]),
+        };
+        let reference = grad.local_reduce();
+        let mut scratch = ExchangeScratch::new();
+        scratch.ensure_vocab(10);
+        scratch.local_reduce(&grad, 2);
+        assert_eq!(scratch.reduced_indices, reference.indices);
+        assert_eq!(scratch.reduced_rows, reference.rows.as_slice());
+    }
+
+    #[test]
+    fn pooled_exchange_reuses_buffers_across_steps() {
+        // After a warm-up step, repeated exchanges must not grow any
+        // scratch buffer: capacities stay put ⇒ zero steady-state heap
+        // allocation in this crate's hot path.
+        for cfg in [ExchangeConfig::unique(), ExchangeConfig::baseline()] {
+            run_group(4, |rank| {
+                let mut table = make_table(5);
+                let grad = make_grad(400 + rank.rank() as u64, 24);
+                let mut scratch = ExchangeScratch::new();
+                exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                let caps = |s: &ExchangeScratch| {
+                    (
+                        s.all_indices.capacity(),
+                        s.all_rows.capacity(),
+                        s.reduced_indices.capacity(),
+                        s.reduced_rows.capacity(),
+                        s.unique.capacity(),
+                        s.m.capacity(),
+                        s.slot_of.capacity(),
+                    )
+                };
+                let warm = caps(&scratch);
+                for step in 0..5 {
+                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                    assert_eq!(caps(&scratch), warm, "buffer grew at step {step}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pooled_and_oneshot_paths_agree_exactly() {
+        // Same gradients through exchange_and_apply (fresh scratch) and
+        // through a long-lived pool: bit-identical tables and identical
+        // non-timing stats.
+        for cfg in [
+            ExchangeConfig::unique(),
+            ExchangeConfig::baseline(),
+            ExchangeConfig::unique_compressed(),
+        ] {
+            let oneshot = exchange_result(4, cfg);
+            let pooled = run_group(4, |rank| {
+                let mut table = make_table(7);
+                let mut scratch = ExchangeScratch::new();
+                // Pollute the pool with an unrelated step first.
+                let warm = make_grad(900 + rank.rank() as u64, 20);
+                let mut warm_table = make_table(8);
+                exchange_and_apply_with(&rank, &warm, &mut warm_table, 0.1, &cfg, &mut scratch);
+                let grad = make_grad(100 + rank.rank() as u64, 12);
+                let stats =
+                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                (table.weights().clone(), stats)
+            });
+            for (a, b) in oneshot.iter().zip(&pooled) {
+                assert_eq!(a.0.as_slice(), b.0.as_slice(), "tables diverged");
+                assert_eq!(a.1.unique_global, b.1.unique_global);
+                assert_eq!(a.1.wire_bytes, b.1.wire_bytes);
+                assert_eq!(a.1.peak_buffer_bytes, b.1.peak_buffer_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_first_occurrence_of_gathered_vector() {
+        // The unique set must be ordered by first occurrence in the
+        // rank-order gathered index vector, not sorted — and all ranks
+        // must agree on it (their copies of the vector are identical).
+        let world = 3;
+        let uniques = run_group(world, |rank| {
+            let mut table = make_table(1);
+            // Rank r contributes descending indices so sorted order and
+            // first-occurrence order differ visibly.
+            let indices: Vec<u32> = match rank.rank() {
+                0 => vec![9, 2, 9, 5],
+                1 => vec![2, 7, 0],
+                _ => vec![5, 0, 1],
+            };
+            let n = indices.len();
+            let grad = SparseGrad {
+                indices,
+                rows: Matrix::zeros(n, D),
+            };
+            let mut scratch = ExchangeScratch::new();
+            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch);
+            scratch.unique.clone()
+        });
+        let expected = vec![9u32, 2, 5, 7, 0, 1];
+        for u in &uniques {
+            assert_eq!(u, &expected);
+        }
+    }
+
+    #[test]
+    fn stats_expose_nonzero_phase_timings() {
+        let res = run_group(2, |rank| {
+            let mut table = {
+                let mut rng = StdRng::seed_from_u64(3);
+                Embedding::new(&mut rng, 2000, 32)
+            };
+            // Large enough that every phase takes measurable time.
+            let grad = make_grad_sized(rank.rank() as u64, 512, 2000, 32);
+            let mut scratch = ExchangeScratch::new();
+            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch)
+        });
+        for s in &res {
+            let t = s.timings;
+            assert!(t.gather_ns > 0, "gather {t:?}");
+            assert!(t.unique_ns > 0, "unique {t:?}");
+            assert!(t.scatter_ns > 0, "scatter {t:?}");
+            assert!(t.allreduce_ns > 0, "allreduce {t:?}");
+            assert!(t.apply_ns > 0, "apply {t:?}");
+            assert_eq!(
+                t.total_ns(),
+                t.gather_ns + t.unique_ns + t.scatter_ns + t.allreduce_ns + t.apply_ns
+            );
+        }
+        // Baseline path: gather + apply only.
+        let base = run_group(2, |rank| {
+            let mut table = {
+                let mut rng = StdRng::seed_from_u64(3);
+                Embedding::new(&mut rng, 2000, 32)
+            };
+            let grad = make_grad_sized(rank.rank() as u64, 512, 2000, 32);
+            baseline_exchange(&rank, &grad, &mut table, 0.1, None)
+        });
+        for s in &base {
+            assert!(s.timings.gather_ns > 0);
+            assert!(s.timings.apply_ns > 0);
+            assert_eq!(s.timings.unique_ns, 0);
+            assert_eq!(s.timings.allreduce_ns, 0);
+        }
+    }
+
+    fn make_grad_sized(seed: u64, n: usize, vocab: usize, d: usize) -> SparseGrad {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let indices: Vec<u32> = (0..n).map(|_| rng.gen_range(0..vocab as u32)).collect();
+        let rows = Matrix::from_vec(
+            n,
+            d,
+            (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        SparseGrad { indices, rows }
     }
 }

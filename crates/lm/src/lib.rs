@@ -52,7 +52,10 @@ pub mod seeding;
 pub mod trainer;
 
 pub use config::{Method, ModelKind, TrainConfig};
-pub use exchange::{exchange_and_apply, ExchangeConfig, ExchangeStats};
+pub use exchange::{
+    exchange_and_apply, exchange_and_apply_with, ExchangeConfig, ExchangeScratch, ExchangeStats,
+    PhaseTimings,
+};
 pub use metrics::{EpochMetrics, StepMetrics, TrainReport};
 pub use seeding::SeedStrategy;
 pub use trainer::{train, train_with_memory_limit, TrainError};

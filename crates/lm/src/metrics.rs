@@ -1,6 +1,6 @@
 //! Training metrics and reports.
 
-use crate::exchange::ExchangeStats;
+use crate::exchange::{ExchangeStats, PhaseTimings};
 use simgpu::TrafficSnapshot;
 
 /// Per-step measurements (collected on rank 0; all ranks agree on the
@@ -64,6 +64,19 @@ impl TrainReport {
     /// Total simulated seconds across epochs.
     pub fn total_sim_time(&self) -> f64 {
         self.epochs.iter().map(|e| e.sim_time_s).sum()
+    }
+
+    /// Total measured exchange wall-time per phase across all steps
+    /// (input and output exchanges combined, rank 0's measurements).
+    pub fn exchange_phase_totals(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for s in &self.steps {
+            total.accumulate(&s.input_exchange.timings);
+            if let Some(out) = &s.output_exchange {
+                total.accumulate(&out.timings);
+            }
+        }
+        total
     }
 
     /// Mean wire bytes per step across the run.

@@ -185,7 +185,10 @@ mod tests {
         for world in [4usize, 16, 64, 256] {
             let k = SeedStrategy::ZipfFreq.seed_count(world);
             let expect = (world as f64).powf(0.64);
-            assert!((k as f64 - expect).abs() <= 1.0, "world {world}: {k} vs {expect}");
+            assert!(
+                (k as f64 - expect).abs() <= 1.0,
+                "world {world}: {k} vs {expect}"
+            );
         }
     }
 

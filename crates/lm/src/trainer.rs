@@ -21,7 +21,7 @@
 
 use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
-use crate::exchange::{exchange_and_apply, ExchangeConfig, ExchangeStats};
+use crate::exchange::{exchange_and_apply_with, ExchangeConfig, ExchangeScratch, ExchangeStats};
 use crate::metrics::{EpochMetrics, StepMetrics, TrainReport};
 use corpus::{shard_batches, train_valid_split, BatchSpec, CorpusGenerator, TokenUnit, Vocab};
 use nn::model::SeqBatch;
@@ -51,7 +51,10 @@ impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrainError::Oom(e) => write!(f, "{e}"),
-            TrainError::DataTooSmall { shard_tokens, needed } => write!(
+            TrainError::DataTooSmall {
+                shard_tokens,
+                needed,
+            } => write!(
                 f,
                 "shard too small: {shard_tokens} tokens, need at least {needed}"
             ),
@@ -98,10 +101,7 @@ pub fn train_with_memory_limit(
         });
     }
 
-    let cost = CostModel::new(
-        HardwareConfig::titan_x_cluster(),
-        cfg.model.utilization(),
-    );
+    let cost = CostModel::new(HardwareConfig::titan_x_cluster(), cfg.model.utilization());
     let devices: Vec<Arc<Device>> = (0..cfg.gpus)
         .map(|i| Device::new(i, gpu_mem_bytes))
         .collect();
@@ -313,9 +313,7 @@ fn exchange_time(
         // Dense ALLGATHER of K×D rows + indices, then a Θ(G·K·D) local
         // update touch.
         cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus)
-            + cost.memory_touch_time(
-                gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4,
-            )
+            + cost.memory_touch_time(gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4)
     }
 }
 
@@ -350,6 +348,10 @@ fn run_rank(
     let mut global_step: u64 = 0;
     let mut unique_sum = 0.0f64;
     let mut unique_count = 0u64;
+    // Per-table scratch pools: after the first step every exchange runs
+    // allocation-free on reused buffers.
+    let mut in_scratch = ExchangeScratch::new();
+    let mut out_scratch = ExchangeScratch::new();
 
     for epoch in 0..cfg.epochs {
         let mut iter = shard_batches(train_tokens, spec, r, g);
@@ -369,11 +371,16 @@ fn run_rank(
                     iter.next().expect("shard emptied unexpectedly")
                 }
             };
-            let sb = SeqBatch::from_lane_major(&batch.inputs, &batch.targets, batch.batch, batch.seq_len);
-            let sample_seed = cfg
-                .method
-                .seeding
-                .seed_for(cfg.seed ^ SAMPLE_SEED, r, g, global_step);
+            let sb = SeqBatch::from_lane_major(
+                &batch.inputs,
+                &batch.targets,
+                batch.batch,
+                batch.seq_len,
+            );
+            let sample_seed =
+                cfg.method
+                    .seeding
+                    .seed_for(cfg.seed ^ SAMPLE_SEED, r, g, global_step);
             let out = replica.step(&sb, sample_seed);
 
             // Dense ALLREDUCE + average.
@@ -386,7 +393,11 @@ fn run_rank(
             for v in &mut dense {
                 *v *= inv_g;
             }
-            let elem: u64 = if cfg.method.compression.is_some() { 2 } else { 4 };
+            let elem: u64 = if cfg.method.compression.is_some() {
+                2
+            } else {
+                4
+            };
             let dense_bytes = if g > 1 {
                 2 * (g as u64 - 1) * dense.len() as u64 * elem / g as u64
             } else {
@@ -397,11 +408,23 @@ fn run_rank(
             let dim = replica.embed_dim();
             let lr_eff = lr * inv_g;
             let in_grad = out.input_grad;
-            let in_stats = exchange_and_apply(&rank, &in_grad, replica.input_table(), lr_eff, &xcfg);
+            let in_stats = exchange_and_apply_with(
+                &rank,
+                &in_grad,
+                replica.input_table(),
+                lr_eff,
+                &xcfg,
+                &mut in_scratch,
+            );
             let out_stats = match (out.output_grad, replica.output_table()) {
-                (Some(grad), Some(table)) => {
-                    Some(exchange_and_apply(&rank, &grad, table, lr_eff, &xcfg))
-                }
+                (Some(grad), Some(table)) => Some(exchange_and_apply_with(
+                    &rank,
+                    &grad,
+                    table,
+                    lr_eff,
+                    &xcfg,
+                    &mut out_scratch,
+                )),
                 _ => None,
             };
 
@@ -576,7 +599,10 @@ mod tests {
         // Find a limit between the two peak usages.
         let base_peak = train(&mk(Method::baseline())).unwrap().peak_mem_bytes;
         let uniq_peak = train(&mk(Method::unique_seeded())).unwrap().peak_mem_bytes;
-        assert!(uniq_peak < base_peak, "unique {uniq_peak} vs base {base_peak}");
+        assert!(
+            uniq_peak < base_peak,
+            "unique {uniq_peak} vs base {base_peak}"
+        );
         let limit = (uniq_peak + base_peak) / 2;
         assert!(matches!(
             train_with_memory_limit(&mk(Method::baseline()), limit),
@@ -589,10 +615,7 @@ mod tests {
     fn data_too_small_detected() {
         let mut cfg = quick_cfg(ModelKind::Char { vocab: 32 }, 2, Method::unique());
         cfg.tokens = 20;
-        assert!(matches!(
-            train(&cfg),
-            Err(TrainError::DataTooSmall { .. })
-        ));
+        assert!(matches!(train(&cfg), Err(TrainError::DataTooSmall { .. })));
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl SparseGrad {
     /// ```
     pub fn local_reduce(&self) -> SparseGrad {
         let d = self.rows.cols();
-        let mut first_slot: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut first_slot: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
         let mut indices = Vec::new();
         let mut rows_data: Vec<f32> = Vec::new();
         for (i, &idx) in self.indices.iter().enumerate() {

@@ -94,7 +94,9 @@ impl Linear {
             .as_mut_slice()
             .copy_from_slice(&flat[offset..offset + nw]);
         let nb = self.b.len();
-        grads.db.copy_from_slice(&flat[offset + nw..offset + nw + nb]);
+        grads
+            .db
+            .copy_from_slice(&flat[offset + nw..offset + nw + nb]);
         offset + nw + nb
     }
 }
@@ -132,7 +134,10 @@ mod tests {
         let eps = 1e-3f32;
         let loss = |l: &Linear, x: &Matrix| -> f64 {
             let y = l.forward(x);
-            y.as_slice().iter().map(|&v| (v as f64) * (v as f64) / 2.0).sum()
+            y.as_slice()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64) / 2.0)
+                .sum()
         };
 
         // Check dW.

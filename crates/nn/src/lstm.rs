@@ -151,7 +151,9 @@ impl LstmLayer {
         let h = self.hidden;
 
         let mut grads = self.zero_grads();
-        let mut dxs: Vec<Matrix> = (0..steps).map(|_| Matrix::zeros(b, self.input_dim())).collect();
+        let mut dxs: Vec<Matrix> = (0..steps)
+            .map(|_| Matrix::zeros(b, self.input_dim()))
+            .collect();
         let mut dh_carry = Matrix::zeros(b, h);
         let mut dc_carry = Matrix::zeros(b, h);
 
@@ -261,9 +263,7 @@ mod tests {
 
     fn rand_steps(rng: &mut StdRng, t: usize, b: usize, d: usize) -> Vec<Matrix> {
         (0..t)
-            .map(|_| {
-                Matrix::from_vec(b, d, (0..b * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            })
+            .map(|_| Matrix::from_vec(b, d, (0..b * d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
             .collect()
     }
 

@@ -197,9 +197,12 @@ impl WordLm {
         candidates: Vec<u32>,
     ) -> WordLmGrads {
         let (p_all, h_all, cache, xs_shape) = self.forward_hidden(batch);
-        let out =
-            self.softmax
-                .forward_backward_with_candidates(&p_all, &batch.targets, &self.out_embed, candidates);
+        let out = self.softmax.forward_backward_with_candidates(
+            &p_all,
+            &batch.targets,
+            &self.out_embed,
+            candidates,
+        );
 
         // Back through projection.
         let (dh_all, proj_grads) = self.proj.backward(&h_all, &out.dh);
@@ -266,10 +269,7 @@ impl WordLm {
 
     /// Shared forward pass: returns `(projection output, lstm output
     /// concat, lstm cache, step count)` with rows in t-major order.
-    fn forward_hidden(
-        &self,
-        batch: &SeqBatch,
-    ) -> (Matrix, Matrix, crate::lstm::LstmCache, usize) {
+    fn forward_hidden(&self, batch: &SeqBatch) -> (Matrix, Matrix, crate::lstm::LstmCache, usize) {
         assert!(!batch.is_empty(), "empty batch");
         let xs: Vec<Matrix> = (0..batch.steps)
             .map(|t| self.embed.forward(batch.step_tokens(t)))
@@ -519,10 +519,7 @@ mod tests {
             m.apply_dense(&grads.dense, 0.5);
         }
         let after = m.eval_loss(&batch);
-        assert!(
-            after < before * 0.7,
-            "before {before:.3}, after {after:.3}"
-        );
+        assert!(after < before * 0.7, "before {before:.3}, after {after:.3}");
     }
 
     #[test]
@@ -559,7 +556,8 @@ mod tests {
         for _ in 0..200 {
             let grads = m.forward_backward(&batch);
             let red = grads.input_grad.local_reduce();
-            m.input_embedding_mut().apply_rows(&red.indices, &red.rows, 0.5);
+            m.input_embedding_mut()
+                .apply_rows(&red.indices, &red.rows, 0.5);
             m.apply_dense(&grads.dense, 0.5);
         }
         let after = m.eval_loss(&batch);

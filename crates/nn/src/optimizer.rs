@@ -114,7 +114,11 @@ pub fn scaled_lr(base: f32, gpus: usize, gpus_per_node: usize) -> f32 {
 /// before clipping.
 pub fn clip_by_global_norm(grads: &mut [f32], max_norm: f32) -> f32 {
     assert!(max_norm > 0.0);
-    let norm = grads.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>().sqrt() as f32;
+    let norm = grads
+        .iter()
+        .map(|&g| (g as f64) * (g as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm > max_norm {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {

@@ -71,8 +71,12 @@ impl RhnLayer {
         Self {
             wx_h: init::xavier(rng, input_dim, hidden),
             wx_t: init::xavier(rng, input_dim, hidden),
-            r_h: (0..depth).map(|_| init::xavier(rng, hidden, hidden)).collect(),
-            r_t: (0..depth).map(|_| init::xavier(rng, hidden, hidden)).collect(),
+            r_h: (0..depth)
+                .map(|_| init::xavier(rng, hidden, hidden))
+                .collect(),
+            r_t: (0..depth)
+                .map(|_| init::xavier(rng, hidden, hidden))
+                .collect(),
             b_h: (0..depth).map(|_| vec![0.0; hidden]).collect(),
             b_t: (0..depth).map(|_| vec![-2.0; hidden]).collect(),
             hidden,
@@ -183,7 +187,9 @@ impl RhnLayer {
         let depth = self.depth();
 
         let mut grads = self.zero_grads();
-        let mut dxs: Vec<Matrix> = (0..steps).map(|_| Matrix::zeros(b, self.input_dim())).collect();
+        let mut dxs: Vec<Matrix> = (0..steps)
+            .map(|_| Matrix::zeros(b, self.input_dim()))
+            .collect();
         let mut ds_time = Matrix::zeros(b, self.hidden);
 
         for t in (0..steps).rev() {
@@ -228,8 +234,12 @@ impl RhnLayer {
                 ds_in.add_assign(&dzh.matmul_transpose_b(&self.r_h[l]));
                 ds_in.add_assign(&dzt.matmul_transpose_b(&self.r_t[l]));
                 if l == 0 {
-                    grads.dwx_h.add_assign(&cache.xs[t].transpose_a_matmul(&dzh));
-                    grads.dwx_t.add_assign(&cache.xs[t].transpose_a_matmul(&dzt));
+                    grads
+                        .dwx_h
+                        .add_assign(&cache.xs[t].transpose_a_matmul(&dzh));
+                    grads
+                        .dwx_t
+                        .add_assign(&cache.xs[t].transpose_a_matmul(&dzt));
                     dxs[t].add_assign(&dzh.matmul_transpose_b(&self.wx_h));
                     dxs[t].add_assign(&dzt.matmul_transpose_b(&self.wx_t));
                 }
@@ -315,9 +325,7 @@ mod tests {
 
     fn rand_steps(rng: &mut StdRng, t: usize, b: usize, d: usize) -> Vec<Matrix> {
         (0..t)
-            .map(|_| {
-                Matrix::from_vec(b, d, (0..b * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            })
+            .map(|_| Matrix::from_vec(b, d, (0..b * d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
             .collect()
     }
 
@@ -373,10 +381,7 @@ mod tests {
             let lm = loss_of(&layer, &xs);
             layer.wx_h.as_mut_slice()[i] = orig;
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            assert!(
-                (grads.dwx_h.as_slice()[i] - num).abs() < 2e-2,
-                "dwx_h[{i}]"
-            );
+            assert!((grads.dwx_h.as_slice()[i] - num).abs() < 2e-2, "dwx_h[{i}]");
         }
         // Recurrent weights at each depth.
         for l in 0..3 {

@@ -171,11 +171,7 @@ impl SampledSoftmax {
                 if dlogit == 0.0 {
                     continue;
                 }
-                let class_row: &[f32] = if j == 0 {
-                    t_row
-                } else {
-                    cand_rows.row(j - 1)
-                };
+                let class_row: &[f32] = if j == 0 { t_row } else { cand_rows.row(j - 1) };
                 for ((dhv, &hv), &cv) in dh.row_mut(i).iter_mut().zip(hi).zip(class_row) {
                     *dhv += dlogit * cv;
                     let _ = hv;
@@ -271,8 +267,7 @@ mod tests {
         let cands = first.candidates.clone();
         let mut last = first.loss;
         for _ in 0..25 {
-            let out =
-                ss.forward_backward_with_candidates(&h, &targets, &table, cands.clone());
+            let out = ss.forward_backward_with_candidates(&h, &targets, &table, cands.clone());
             let red = out.grad.local_reduce();
             table.apply_rows(&red.indices, &red.rows, 0.5);
             last = out.loss;

@@ -131,8 +131,7 @@ impl CharScale {
             model + gather
         } else {
             model
-                + ((g * self.local_tokens) as f64 * 4.0
-                    + (self.vocab * self.hidden) as f64 * 4.0)
+                + ((g * self.local_tokens) as f64 * 4.0 + (self.vocab * self.hidden) as f64 * 4.0)
                     / 1e9
         }
     }

@@ -236,7 +236,9 @@ impl WordScale {
             let u_in = self.input_rows(g, stack) as f64;
             let u_out = self.output_rows(g, stack) as f64;
             MODEL_ACT_GB
-                + (gk * 4.0 + u_in * self.embed_dim as f64 * 4.0 + u_out * self.proj_dim as f64 * 4.0)
+                + (gk * 4.0
+                    + u_in * self.embed_dim as f64 * 4.0
+                    + u_out * self.proj_dim as f64 * 4.0)
                     / 1e9
         } else {
             // Gathered K·D + (K+S)·P rows from every GPU, replicated by

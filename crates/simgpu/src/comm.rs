@@ -18,15 +18,34 @@
 //! FP16 wire format would impose.
 
 use crate::traffic::{TrafficRecorder, TrafficSnapshot};
-use parking_lot::Mutex;
 use std::sync::{Arc, Barrier};
+
+/// Thin wrapper over `std::sync::Mutex` with `parking_lot`-style
+/// `lock()` ergonomics (no `Result`). A poisoned lock is recovered
+/// rather than propagated: mailbox payloads are plain data that stay
+/// valid even if a peer rank panicked mid-step, and the panicking rank
+/// already aborts the whole test via its joined thread.
+#[derive(Debug, Default)]
+struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
 
 /// Converts f32 to IEEE binary16 bits (round-to-nearest-even).
 ///
 /// Duplicated from `tensor::f16` to keep `simgpu` free of the tensor
 /// dependency (the substrate layers must stay acyclic); the two are
-/// cross-checked in integration tests.
-fn f32_to_f16_bits(x: f32) -> u16 {
+/// cross-checked bit-for-bit in `tests/f16_crosscheck.rs`.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
     let bits = x.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;
     let exp = ((bits >> 23) & 0xff) as i32;
@@ -66,7 +85,7 @@ fn f32_to_f16_bits(x: f32) -> u16 {
 }
 
 /// Converts binary16 bits to f32 (exact).
-fn f16_bits_to_f32(h: u16) -> f32 {
+pub fn f16_bits_to_f32(h: u16) -> f32 {
     let bits = h as u32;
     let sign = (bits & 0x8000) << 16;
     let exp = (bits >> 10) & 0x1f;
@@ -160,6 +179,26 @@ fn chunk_range(n: usize, world: usize, chunk: usize) -> std::ops::Range<usize> {
     let lo = chunk * n / world;
     let hi = (chunk + 1) * n / world;
     lo..hi
+}
+
+/// Exact bytes `rank` sends during one ring ALLREDUCE over `n` elements
+/// of `elem_bytes` each — iterating the same chunk schedule as
+/// [`Rank::all_reduce_sum`] / [`Rank::all_reduce_sum_f16`], so analytic
+/// wire accounting can match the [`TrafficRecorder`] to the byte even
+/// when `n` does not divide evenly by `world`.
+pub fn ring_allreduce_send_bytes(n: usize, world: usize, rank: usize, elem_bytes: u64) -> u64 {
+    if world <= 1 {
+        return 0;
+    }
+    let g = world;
+    let r = rank;
+    let mut elems = 0u64;
+    for s in 0..g - 1 {
+        // Reduce-scatter send at step s, then all-gather send at step s.
+        elems += chunk_range(n, g, (r + g - s) % g).len() as u64;
+        elems += chunk_range(n, g, (r + 1 + g - s) % g).len() as u64;
+    }
+    elems * elem_bytes
 }
 
 impl Rank {
@@ -278,7 +317,11 @@ impl Rank {
             {
                 let mut mb = self.core.mailbox_u16[next].lock();
                 mb.clear();
-                mb.extend(data[range.clone()].iter().map(|&x| f32_to_f16_bits(x * scale)));
+                mb.extend(
+                    data[range.clone()]
+                        .iter()
+                        .map(|&x| f32_to_f16_bits(x * scale)),
+                );
             }
             self.core.traffic.record_allreduce((range.len() * 2) as u64);
             self.barrier();
@@ -309,7 +352,11 @@ impl Rank {
             {
                 let mut mb = self.core.mailbox_u16[next].lock();
                 mb.clear();
-                mb.extend(data[range.clone()].iter().map(|&x| f32_to_f16_bits(x * scale)));
+                mb.extend(
+                    data[range.clone()]
+                        .iter()
+                        .map(|&x| f32_to_f16_bits(x * scale)),
+                );
             }
             self.core.traffic.record_allreduce((range.len() * 2) as u64);
             self.barrier();
@@ -330,6 +377,15 @@ impl Rank {
     /// This is the cheap index exchange at the heart of the paper's
     /// uniqueness technique — `Θ(G·K)` elements instead of `Θ(G·K·D)`.
     pub fn all_gather_u32(&self, local: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.all_gather_u32_into(local, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Rank::all_gather_u32`]: the result replaces
+    /// `out`'s contents, reusing its capacity (hot loops pass the same
+    /// buffer every step so steady state performs zero heap allocation).
+    pub fn all_gather_u32_into(&self, local: &[u32], out: &mut Vec<u32>) {
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
         }
@@ -344,18 +400,24 @@ impl Rank {
             .traffic
             .record_allgather((local.len() * 4 * (g - 1)) as u64);
         self.barrier();
-        let mut out = Vec::new();
+        out.clear();
         for s in 0..g {
             out.extend_from_slice(&self.core.gather_u32[s].lock());
         }
         self.barrier();
-        out
     }
 
     /// Variable-size ALLGATHER of `f32` payloads, rank order — the
     /// paper's *baseline* dense gradient exchange (`Θ(G·K·D)` memory and
     /// wire bytes).
     pub fn all_gather_f32(&self, local: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.all_gather_f32_into(local, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Rank::all_gather_f32`], reusing `out`'s capacity.
+    pub fn all_gather_f32_into(&self, local: &[f32], out: &mut Vec<f32>) {
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
         }
@@ -369,17 +431,23 @@ impl Rank {
             .traffic
             .record_allgather((local.len() * 4 * (g - 1)) as u64);
         self.barrier();
-        let mut out = Vec::new();
+        out.clear();
         for s in 0..g {
             out.extend_from_slice(&self.core.gather_f32[s].lock());
         }
         self.barrier();
-        out
     }
 
     /// FP16-compressed ALLGATHER of `f32` payloads with compression
     /// scaling — the baseline exchange under §III-C compression.
     pub fn all_gather_f16(&self, local: &[f32], scale: f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.all_gather_f16_into(local, scale, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Rank::all_gather_f16`], reusing `out`'s capacity.
+    pub fn all_gather_f16_into(&self, local: &[f32], scale: f32, out: &mut Vec<f32>) {
         assert!(scale > 0.0, "compression scale must be positive");
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
@@ -395,13 +463,12 @@ impl Rank {
             .record_allgather((local.len() * 2 * (g - 1)) as u64);
         self.barrier();
         let inv = 1.0 / scale;
-        let mut out = Vec::new();
+        out.clear();
         for s in 0..g {
             let slot = self.core.gather_u16[s].lock();
             out.extend(slot.iter().map(|&h| f16_bits_to_f32(h) * inv));
         }
         self.barrier();
-        out
     }
 
     /// Sums one scalar across ranks in rank order (deterministic) — used
@@ -615,10 +682,7 @@ mod tests {
         for &x in &[0.0f32, 1.0, -2.5, 65504.0, 6.1e-5, -0.125] {
             let h = f32_to_f16_bits(x);
             let back = f16_bits_to_f32(h);
-            assert!(
-                (back - x).abs() <= x.abs() * 1e-3 + 1e-7,
-                "{x} -> {back}"
-            );
+            assert!((back - x).abs() <= x.abs() * 1e-3 + 1e-7, "{x} -> {back}");
         }
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0)), 1.0);
     }
@@ -734,7 +798,9 @@ mod tests {
 
     #[test]
     fn scalar_reduce_deterministic() {
-        let results = run_group(6, |rank| rank.all_reduce_scalar_f64(rank.rank() as f64 + 0.5));
+        let results = run_group(6, |rank| {
+            rank.all_reduce_scalar_f64(rank.rank() as f64 + 0.5)
+        });
         for res in &results {
             assert_eq!(*res, 18.0); // 0.5+1.5+...+5.5
         }
@@ -832,10 +898,7 @@ mod tests {
                 }
             }
             // Owned chunks partition the buffer across ranks.
-            let mut covered: Vec<usize> = results
-                .iter()
-                .flat_map(|(o, _)| o.clone())
-                .collect();
+            let mut covered: Vec<usize> = results.iter().flat_map(|(o, _)| o.clone()).collect();
             covered.sort_unstable();
             covered.dedup();
             assert_eq!(covered.len(), n);
@@ -903,6 +966,181 @@ mod tests {
                     covered = r.end;
                 }
                 assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_empty_buffer_is_noop() {
+        // n == 0: every chunk is empty; the ring must still complete
+        // (all barriers hit) and leave the buffer empty on every rank.
+        for world in [1usize, 2, 5] {
+            let results = run_group(world, |rank| {
+                let mut data: Vec<f32> = Vec::new();
+                rank.all_reduce_sum(&mut data);
+                let mut data16: Vec<f32> = Vec::new();
+                rank.all_reduce_sum_f16(&mut data16, 512.0);
+                (data.len(), data16.len())
+            });
+            for r in &results {
+                assert_eq!(*r, (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_f16_short_buffer_smaller_than_world() {
+        // n < G on the compressed ring: most chunks are empty.
+        let world = 8;
+        let results = run_group(world, |rank| {
+            let mut data = vec![rank.rank() as f32; 3];
+            rank.all_reduce_sum_f16(&mut data, 256.0);
+            data
+        });
+        let expected = (0..8).sum::<usize>() as f32;
+        for res in &results {
+            assert!(
+                res.iter().all(|&x| (x - expected).abs() < expected * 0.01),
+                "{res:?}"
+            );
+        }
+        for r in 1..world {
+            assert_eq!(results[0], results[r], "rank {r} diverged");
+        }
+    }
+
+    #[test]
+    fn all_reduce_non_divisible_chunks_exact_and_compressed() {
+        // n deliberately not a multiple of G: chunk sizes differ by one
+        // and both rings must still sum correctly on every rank.
+        for (world, n) in [(4usize, 7usize), (8, 13), (3, 100), (7, 95)] {
+            let exact = run_group(world, |rank| {
+                let r = rank.rank();
+                let mut data: Vec<f32> = (0..n).map(|i| (i + r) as f32).collect();
+                rank.all_reduce_sum(&mut data);
+                data
+            });
+            let expected: Vec<f32> = (0..n)
+                .map(|i| (0..world).map(|r| (i + r) as f32).sum())
+                .collect();
+            for res in &exact {
+                for (a, b) in res.iter().zip(&expected) {
+                    assert!((a - b).abs() < 1e-3, "world {world} n {n}: {a} vs {b}");
+                }
+            }
+            let compressed = run_group(world, |rank| {
+                let r = rank.rank();
+                let mut data: Vec<f32> = (0..n).map(|i| (i + r) as f32).collect();
+                rank.all_reduce_sum_f16(&mut data, 16.0);
+                data
+            });
+            for res in &compressed {
+                for (a, b) in res.iter().zip(&expected) {
+                    assert!(
+                        (a - b).abs() <= b.abs() * 0.01 + 1e-2,
+                        "world {world} n {n}: {a} vs {b}"
+                    );
+                }
+            }
+            for r in 1..world {
+                assert_eq!(compressed[0], compressed[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_empty_slices() {
+        // Every rank empty, and a mix of empty/non-empty contributions
+        // (the `equivalence_with_empty_contributions` scenario at the
+        // comm layer).
+        let all_empty = run_group(3, |rank| {
+            let u = rank.all_gather_u32(&[]);
+            let f = rank.all_gather_f32(&[]);
+            let h = rank.all_gather_f16(&[], 512.0);
+            (u.len(), f.len(), h.len())
+        });
+        for r in &all_empty {
+            assert_eq!(*r, (0, 0, 0));
+        }
+
+        let mixed = run_group(3, |rank| {
+            let local: Vec<u32> = if rank.rank() == 1 {
+                vec![]
+            } else {
+                vec![rank.rank() as u32 * 10]
+            };
+            rank.all_gather_u32(&local)
+        });
+        for res in &mixed {
+            assert_eq!(res, &vec![0u32, 20]);
+        }
+    }
+
+    #[test]
+    fn gather_into_variants_match_and_reuse_capacity() {
+        let results = run_group(4, |rank| {
+            let r = rank.rank() as u32;
+            let local: Vec<u32> = (0..=r).map(|i| r * 10 + i).collect();
+            let rows: Vec<f32> = (0..3).map(|i| (r * 10 + i) as f32).collect();
+            let mut u = Vec::new();
+            let mut f = Vec::new();
+            let mut h = Vec::new();
+            // Repeated calls into the same buffers must not grow past
+            // the first call's capacity (zero steady-state allocation).
+            rank.all_gather_u32_into(&local, &mut u);
+            rank.all_gather_f32_into(&rows, &mut f);
+            rank.all_gather_f16_into(&rows, 512.0, &mut h);
+            let (cu, cf, ch) = (u.capacity(), f.capacity(), h.capacity());
+            for _ in 0..5 {
+                rank.all_gather_u32_into(&local, &mut u);
+                rank.all_gather_f32_into(&rows, &mut f);
+                rank.all_gather_f16_into(&rows, 512.0, &mut h);
+            }
+            assert_eq!(u.capacity(), cu);
+            assert_eq!(f.capacity(), cf);
+            assert_eq!(h.capacity(), ch);
+            (u.clone(), rank.all_gather_u32(&local), f, h)
+        });
+        for (into_u, ret_u, f, h) in &results {
+            assert_eq!(into_u, ret_u, "into/returning variants disagree");
+            assert_eq!(f.len(), 12);
+            assert_eq!(h.len(), 12);
+            for (a, b) in f.iter().zip(h) {
+                assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_send_bytes_helper_matches_recorder_exactly() {
+        // The analytic per-rank helper must reproduce the traffic
+        // recorder to the byte, including non-divisible chunk sizes.
+        for (world, n) in [
+            (2usize, 10usize),
+            (4, 7),
+            (8, 13),
+            (8, 4096),
+            (5, 0),
+            (3, 2),
+        ] {
+            for &elem in &[4u64, 2] {
+                let measured = run_group(world, |rank| {
+                    rank.reset_traffic();
+                    let mut data = vec![1.0f32; n];
+                    if elem == 4 {
+                        rank.all_reduce_sum(&mut data);
+                    } else {
+                        rank.all_reduce_sum_f16(&mut data, 512.0);
+                    }
+                    rank.traffic().allreduce_bytes
+                })[0];
+                let analytic: u64 = (0..world)
+                    .map(|r| ring_allreduce_send_bytes(n, world, r, elem))
+                    .sum();
+                assert_eq!(
+                    analytic, measured,
+                    "world {world} n {n} elem {elem}: analytic {analytic} vs measured {measured}"
+                );
             }
         }
     }

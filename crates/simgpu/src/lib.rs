@@ -29,10 +29,12 @@ pub mod comm;
 pub mod cost;
 pub mod device;
 pub mod hw;
+pub mod timing;
 pub mod traffic;
 
-pub use comm::{CommGroup, Rank};
+pub use comm::{f16_bits_to_f32, f32_to_f16_bits, ring_allreduce_send_bytes, CommGroup, Rank};
 pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};
 pub use hw::HardwareConfig;
+pub use timing::PhaseTimer;
 pub use traffic::{TrafficRecorder, TrafficSnapshot};

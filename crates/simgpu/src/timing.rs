@@ -1,0 +1,50 @@
+//! Lightweight phase timing for collective-heavy hot loops.
+//!
+//! The exchange layer wants per-phase wall-clock (gather / unique /
+//! scatter / allreduce / apply) without paying for anything fancier
+//! than two monotonic clock reads per phase. [`PhaseTimer`] is a
+//! resettable stopwatch: `lap_ns()` returns the nanoseconds since the
+//! previous lap (or since construction) and restarts the lap.
+
+use std::time::Instant;
+
+/// A monotonic lap timer; each [`PhaseTimer::lap_ns`] call closes the
+/// current lap and opens the next.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    last: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts the first lap.
+    pub fn start() -> Self {
+        PhaseTimer {
+            last: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the previous lap (saturating at `u64::MAX`);
+    /// restarts the lap.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last);
+        self.last = now;
+        u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_are_monotone_and_reset() {
+        let mut t = PhaseTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let a = t.lap_ns();
+        assert!(a >= 2_000_000, "lap too short: {a}");
+        // Second lap measures only the time since the first.
+        let b = t.lap_ns();
+        assert!(b < a, "lap did not reset: {b} vs {a}");
+    }
+}

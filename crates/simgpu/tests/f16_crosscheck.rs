@@ -1,0 +1,135 @@
+//! Exhaustive bit-for-bit agreement between `simgpu`'s binary16
+//! converters (duplicated to keep the substrate dependency-acyclic) and
+//! `tensor::F16`, the reference implementation. Any drift between the
+//! two would silently change what the compressed collectives put on the
+//! wire versus what the accuracy experiments model.
+
+use simgpu::{f16_bits_to_f32, f32_to_f16_bits};
+use tensor::F16;
+
+#[test]
+fn f16_to_f32_agrees_for_every_bit_pattern() {
+    for bits in 0u16..=0xffff {
+        let ours = f16_bits_to_f32(bits);
+        let reference = F16(bits).to_f32();
+        assert_eq!(
+            ours.to_bits(),
+            reference.to_bits(),
+            "bits {bits:#06x}: simgpu {ours} vs tensor {reference}"
+        );
+    }
+}
+
+#[test]
+fn f32_to_f16_agrees_on_every_half_value_and_neighbours() {
+    // Every binary16 value, exactly representable in f32, plus the f32
+    // immediately below and above it — the neighbourhoods where rounding
+    // decisions (round-to-nearest-even, carry into exponent, subnormal
+    // shift) can diverge.
+    for bits in 0u16..=0xffff {
+        let x = F16(bits).to_f32();
+        for probe in [x, f32_next_down(x), f32_next_up(x)] {
+            assert_eq!(
+                f32_to_f16_bits(probe),
+                F16::from_f32(probe).0,
+                "probe {probe:e} (from bits {bits:#06x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_to_f16_agrees_on_halfway_points() {
+    // Midpoints between consecutive finite binary16 values are the
+    // round-to-nearest-even tie cases; check the tie and both sides.
+    for bits in 0u16..0x7bff {
+        let lo = F16(bits);
+        if lo.is_nan() || lo.is_infinite() {
+            continue;
+        }
+        let hi = F16(bits + 1);
+        if hi.is_nan() || hi.is_infinite() {
+            continue;
+        }
+        let mid = (lo.to_f32() as f64 + hi.to_f32() as f64) / 2.0;
+        let mid = mid as f32;
+        for probe in [mid, f32_next_down(mid), f32_next_up(mid)] {
+            assert_eq!(
+                f32_to_f16_bits(probe),
+                F16::from_f32(probe).0,
+                "midpoint probe {probe:e} between {bits:#06x} and {:#06x}",
+                bits + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_to_f16_agrees_on_specials_and_deterministic_sweep() {
+    let specials = [
+        0.0f32,
+        -0.0,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        65504.0,
+        65505.0,
+        65520.0, // first f32 that rounds to f16 infinity
+        6.103_515_6e-5,
+        5.96e-8,
+        1e-8,
+    ];
+    for &x in &specials {
+        assert_eq!(f32_to_f16_bits(x), F16::from_f32(x).0, "special {x:e}");
+    }
+    // SplitMix64-driven sweep over arbitrary f32 bit patterns.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..1_000_000 {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let x = f32::from_bits((z ^ (z >> 31)) as u32);
+        assert_eq!(
+            f32_to_f16_bits(x),
+            F16::from_f32(x).0,
+            "sweep value {x:e} ({:#010x})",
+            x.to_bits()
+        );
+    }
+}
+
+/// Largest f32 strictly below `x` (next_down, stable-Rust substitute).
+fn f32_next_down(x: f32) -> f32 {
+    if x.is_nan() || x == f32::NEG_INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x == 0.0 {
+        0x8000_0001 // -min_subnormal (covers both +0.0 and -0.0)
+    } else if bits >> 31 == 0 {
+        bits - 1
+    } else {
+        bits + 1
+    };
+    f32::from_bits(next)
+}
+
+/// Smallest f32 strictly above `x`.
+fn f32_next_up(x: f32) -> f32 {
+    if x.is_nan() || x == f32::INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x == 0.0 {
+        0x0000_0001
+    } else if bits >> 31 == 0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f32::from_bits(next)
+}

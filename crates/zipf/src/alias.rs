@@ -46,7 +46,10 @@ impl AliasTable {
             "weights must sum to a positive finite value"
         );
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative and finite");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be non-negative and finite"
+            );
         }
 
         let n = weights.len();
@@ -138,7 +141,10 @@ mod tests {
         }
         let expected = draws as f64 / 8.0;
         for &c in &counts {
-            assert!((c as f64 - expected).abs() < expected * 0.1, "counts={counts:?}");
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "counts={counts:?}"
+            );
         }
     }
 

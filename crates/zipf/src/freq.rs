@@ -68,7 +68,10 @@ impl FrequencyTable {
     /// Empirical probability of each rank, descending (sums to 1).
     pub fn rank_probs(&self) -> Vec<f64> {
         let total = self.total.max(1) as f64;
-        self.ranked().iter().map(|&(_, c)| c as f64 / total).collect()
+        self.ranked()
+            .iter()
+            .map(|&(_, c)| c as f64 / total)
+            .collect()
     }
 
     /// The `top_k` most frequent token ids (the vocabulary-truncation

@@ -123,10 +123,22 @@ mod tests {
         assert_eq!(
             curve,
             vec![
-                HeapsPoint { tokens: 1, types: 1 },
-                HeapsPoint { tokens: 2, types: 1 },
-                HeapsPoint { tokens: 4, types: 3 },
-                HeapsPoint { tokens: 8, types: 5 },
+                HeapsPoint {
+                    tokens: 1,
+                    types: 1
+                },
+                HeapsPoint {
+                    tokens: 2,
+                    types: 1
+                },
+                HeapsPoint {
+                    tokens: 4,
+                    types: 3
+                },
+                HeapsPoint {
+                    tokens: 8,
+                    types: 5
+                },
             ]
         );
     }

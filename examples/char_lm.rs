@@ -30,7 +30,10 @@ fn main() {
         cfg.gpus
     );
     let rep = train(&cfg).expect("training");
-    println!("{:>6} {:>12} {:>10} {:>8}", "epoch", "train loss", "ppl", "BPC");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "epoch", "train loss", "ppl", "BPC"
+    );
     for e in &rep.epochs {
         println!(
             "{:>6} {:>12.4} {:>10.3} {:>8.3}",

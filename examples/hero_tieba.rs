@@ -19,7 +19,10 @@ use zipf_lm::{train, Method, ModelKind, TrainConfig};
 
 fn main() {
     println!("Tieba weak scaling (miniature): vocab 2000, data grows with GPUs\n");
-    println!("{:>6} {:>10} {:>8} {:>10} {:>8}", "GPUs", "tokens", "lr", "ppl", "gain");
+    println!(
+        "{:>6} {:>10} {:>8} {:>10} {:>8}",
+        "GPUs", "tokens", "lr", "ppl", "gain"
+    );
 
     let mut base_ppl = None;
     for (gpus, data_mult, lr) in [(1usize, 1usize, 0.8f32), (4, 4, 1.1), (8, 16, 1.4)] {

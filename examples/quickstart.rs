@@ -22,7 +22,10 @@ fn main() {
         tokens: 100_000,
     };
 
-    println!("training word LM on {} simulated GPUs (uniqueness + seeding + fp16)...", cfg.gpus);
+    println!(
+        "training word LM on {} simulated GPUs (uniqueness + seeding + fp16)...",
+        cfg.gpus
+    );
     let ours = train(&cfg).expect("training");
     for e in &ours.epochs {
         println!(

@@ -84,7 +84,9 @@ fn generated_corpus_obeys_zipf_rank_frequency() {
     let probs = freq.rank_probs();
     // Fit p(r) ∝ r^-s over the head (ranks 10..1000; the Mandelbrot
     // offset bends the very head).
-    let xs: Vec<f64> = (10..1000.min(probs.len())).map(|r| (r + 1) as f64).collect();
+    let xs: Vec<f64> = (10..1000.min(probs.len()))
+        .map(|r| (r + 1) as f64)
+        .collect();
     let ys: Vec<f64> = (10..1000.min(probs.len())).map(|r| probs[r]).collect();
     let fit = fit_power_law(&xs, &ys).unwrap();
     assert!(
@@ -136,7 +138,10 @@ fn traffic_attribution_consistent_with_report() {
 #[test]
 fn word_and_char_models_share_exchange_machinery() {
     // Both model kinds must run under every method combination.
-    for model in [ModelKind::Word { vocab: 200 }, ModelKind::Char { vocab: 64 }] {
+    for model in [
+        ModelKind::Word { vocab: 200 },
+        ModelKind::Char { vocab: 64 },
+    ] {
         for (_, method) in Method::figure6_stack() {
             let cfg = TrainConfig {
                 model,

@@ -33,7 +33,10 @@ fn baseline_exchange_bytes_scale_linearly_with_g() {
     let b2 = grab(2);
     let b8 = grab(8);
     let ratio = b8 / b2;
-    assert!((ratio - 7.0).abs() < 0.8, "ratio {ratio} (expect ≈ (8−1)/(2−1))");
+    assert!(
+        (ratio - 7.0).abs() < 0.8,
+        "ratio {ratio} (expect ≈ (8−1)/(2−1))"
+    );
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn peak_memory_baseline_grows_ours_stays_flat() {
     let peak = |g: usize, m: Method| train(&cfg(g, m)).expect("run").peak_mem_bytes as f64;
     let b_growth = peak(8, Method::baseline()) - peak(2, Method::baseline());
     let u_growth = peak(8, Method::unique_seeded()) - peak(2, Method::unique_seeded());
-    assert!(b_growth > 100_000.0, "baseline growth too small: {b_growth}");
+    assert!(
+        b_growth > 100_000.0,
+        "baseline growth too small: {b_growth}"
+    );
     assert!(
         b_growth > 3.0 * u_growth.max(1.0),
         "baseline growth {b_growth} vs ours {u_growth}"
@@ -99,11 +105,14 @@ fn seeding_strategies_order_output_exchange_size() {
     // Fewer seeds ⇒ fewer unique sampled words ⇒ smaller output
     // exchange; the ordering must be monotone in the seed count.
     let ug = |s: SeedStrategy| {
-        let rep = train(&cfg(8, Method {
-            unique: true,
-            seeding: s,
-            compression: None,
-        }))
+        let rep = train(&cfg(
+            8,
+            Method {
+                unique: true,
+                seeding: s,
+                compression: None,
+            },
+        ))
         .expect("run");
         rep.steps
             .iter()
@@ -119,17 +128,15 @@ fn seeding_strategies_order_output_exchange_size() {
         all_same <= log10 && log10 <= zipf && zipf <= per_gpu,
         "ordering violated: same {all_same}, log10 {log10}, zipf {zipf}, perGpu {per_gpu}"
     );
-    assert!(per_gpu > 1.5 * all_same, "spread too small to be meaningful");
+    assert!(
+        per_gpu > 1.5 * all_same,
+        "spread too small to be meaningful"
+    );
 }
 
 #[test]
 fn compression_halves_wire_bytes() {
-    let bytes = |m: Method| {
-        train(&cfg(4, m))
-            .expect("run")
-            .traffic
-            .total_bytes() as f64
-    };
+    let bytes = |m: Method| train(&cfg(4, m)).expect("run").traffic.total_bytes() as f64;
     let plain = bytes(Method::unique_seeded());
     let compressed = bytes(Method::full());
     let ratio = plain / compressed;
@@ -157,14 +164,15 @@ fn perfmodel_unique_rows_match_trainer_law() {
     // agree in *exponent* (the law is shared; prefactors differ by
     // vocabulary truncation).
     let m = WordScale::paper();
-    let xs: Vec<f64> = [8usize, 16, 24]
-        .iter()
-        .map(|&g| (g * 640) as f64)
-        .collect();
+    let xs: Vec<f64> = [8usize, 16, 24].iter().map(|&g| (g * 640) as f64).collect();
     let ys: Vec<f64> = [8usize, 16, 24]
         .iter()
         .map(|&g| m.input_rows(g, TechniqueStack::Full) as f64)
         .collect();
     let fit = fit_power_law(&xs, &ys).unwrap();
-    assert!((fit.exponent - 0.64).abs() < 0.01, "exponent {}", fit.exponent);
+    assert!(
+        (fit.exponent - 0.64).abs() < 0.01,
+        "exponent {}",
+        fit.exponent
+    );
 }

@@ -65,7 +65,10 @@ fn more_gpus_same_accuracy_regime() {
     }
     let max = p2.max(p4).max(p8);
     let min = p2.min(p4).min(p8);
-    assert!(max / min < 2.5, "spread too wide: {p2:.1} / {p4:.1} / {p8:.1}");
+    assert!(
+        max / min < 2.5,
+        "spread too wide: {p2:.1} / {p4:.1} / {p8:.1}"
+    );
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! The analytic `wire_bytes` in [`zipf_lm::ExchangeStats`] must match
+//! what simgpu's `TrafficRecorder` actually measured — for both exchange
+//! paths, with and without FP16 compression. Byte-exact: the unique
+//! path derives its ALLREDUCE term from the ring's own chunk schedule
+//! (`simgpu::ring_allreduce_send_bytes`), so non-divisible `Ug·D` sizes
+//! cannot drift.
+
+use nn::{Embedding, SparseGrad};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simgpu::{CommGroup, Rank, TrafficSnapshot};
+use tensor::Matrix;
+use zipf_lm::{exchange_and_apply, ExchangeConfig, ExchangeStats};
+
+const VOCAB: usize = 60;
+
+fn run_group<T: Send>(world: usize, f: impl Fn(Rank) -> T + Sync) -> Vec<T> {
+    let ranks = CommGroup::create(world);
+    let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|rank| {
+                let f = &f;
+                s.spawn(move || f(rank))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            out[i] = Some(h.join().expect("rank panicked"));
+        }
+    });
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// Runs one exchange on every rank; returns per-rank stats plus the
+/// group's measured traffic (reset immediately before the exchange).
+fn measure(
+    world: usize,
+    tokens: usize,
+    dim: usize,
+    cfg: ExchangeConfig,
+) -> (Vec<ExchangeStats>, TrafficSnapshot) {
+    let results = run_group(world, |rank| {
+        let mut table = {
+            let mut rng = StdRng::seed_from_u64(11);
+            Embedding::new(&mut rng, VOCAB, dim)
+        };
+        let mut rng = StdRng::seed_from_u64(500 + rank.rank() as u64);
+        let indices: Vec<u32> = (0..tokens)
+            .map(|_| rng.gen_range(0..VOCAB as u32))
+            .collect();
+        let rows = Matrix::from_vec(
+            tokens,
+            dim,
+            (0..tokens * dim)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        );
+        let grad = SparseGrad { indices, rows };
+        rank.reset_traffic();
+        let stats = exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
+        rank.barrier(); // all sends recorded before the snapshot
+        (stats, rank.traffic())
+    });
+    let traffic = results[0].1;
+    (results.into_iter().map(|(s, _)| s).collect(), traffic)
+}
+
+fn configs() -> [ExchangeConfig; 4] {
+    [
+        ExchangeConfig::baseline(),
+        ExchangeConfig {
+            unique: false,
+            compression: Some(512.0),
+        },
+        ExchangeConfig::unique(),
+        ExchangeConfig::unique_compressed(),
+    ]
+}
+
+#[test]
+fn analytic_wire_bytes_match_measured_traffic_exactly() {
+    // Deliberately awkward sizes: Ug·D and K·D rarely divide by G.
+    for world in [2usize, 3, 5, 8] {
+        for (tokens, dim) in [(13usize, 7usize), (24, 5), (1, 3)] {
+            for cfg in configs() {
+                let (stats, traffic) = measure(world, tokens, dim, cfg);
+                let analytic: u64 = stats.iter().map(|s| s.wire_bytes).sum();
+                let measured = traffic.allgather_bytes + traffic.allreduce_bytes;
+                assert_eq!(
+                    analytic, measured,
+                    "world {world} K {tokens} D {dim} cfg {cfg:?}: \
+                     analytic {analytic} vs measured {measured}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_rank_exchange_moves_no_bytes() {
+    for cfg in configs() {
+        let (stats, traffic) = measure(1, 9, 4, cfg);
+        assert_eq!(stats[0].wire_bytes, 0);
+        assert_eq!(traffic.allgather_bytes + traffic.allreduce_bytes, 0);
+    }
+}
+
+#[test]
+fn empty_gradient_exchange_accounts_zero_payload() {
+    // K = 0 on every rank: nothing crosses the wire on either path.
+    for cfg in configs() {
+        let (stats, traffic) = measure(4, 0, 6, cfg);
+        for s in &stats {
+            assert_eq!(s.wire_bytes, 0, "cfg {cfg:?}");
+        }
+        assert_eq!(traffic.allgather_bytes + traffic.allreduce_bytes, 0);
+    }
+}
+
+#[test]
+fn compression_halves_exactly_the_row_terms() {
+    // The index gather stays u32; only gradient payload halves. Checked
+    // through the analytic stats on an even-dividing size.
+    let world = 4;
+    let (full, _) = measure(world, 16, 8, ExchangeConfig::baseline());
+    let (comp, _) = measure(
+        world,
+        16,
+        8,
+        ExchangeConfig {
+            unique: false,
+            compression: Some(512.0),
+        },
+    );
+    let index_term = (16 * 4 * (world - 1)) as u64;
+    for (f, c) in full.iter().zip(&comp) {
+        assert_eq!((c.wire_bytes - index_term) * 2, f.wire_bytes - index_term);
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! benchmarking surface the workspace's benches use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter` /
+//! `iter_custom`, and the `criterion_group!` / `criterion_main!`
+//! macros. Each benchmark warms up briefly, then runs timed batches
+//! for a fixed measurement budget and reports the mean, min and max
+//! per-iteration time (plus throughput when configured).
+//!
+//! Environment knobs:
+//! * `BENCH_WARM_MS` — warm-up budget per benchmark (default 300 ms).
+//! * `BENCH_MEASURE_MS` — measurement budget per benchmark (default 1000 ms).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: env_ms("BENCH_WARM_MS", 300),
+            measure: env_ms("BENCH_MEASURE_MS", 1000),
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, discarding its output via a black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also discovers a batch size that keeps timer
+        // overhead negligible.
+        let warm_deadline = Instant::now() + self.criterion.warm_up;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.criterion.warm_up.as_nanos() as u64 / warm_iters.max(1);
+        // Aim for ~50 batches within the measurement budget.
+        let batch = (self.criterion.measure.as_nanos() as u64 / 50 / per_iter.max(1)).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let deadline = Instant::now() + self.criterion.measure;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            let per = dt / batch as u32;
+            min = min.min(per);
+            max = max.max(per);
+            total += dt;
+            iters += batch;
+        }
+        self.result = Some(Sample {
+            mean: total / iters.max(1) as u32,
+            min,
+            max,
+            iters,
+        });
+    }
+
+    /// Times with a caller-controlled loop: `f` receives an iteration
+    /// count and returns the elapsed time for exactly that many
+    /// iterations (steady-state harnesses use this to keep worker
+    /// threads alive across iterations).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let warm = f(1).max(Duration::from_nanos(1));
+        let per_iter = warm.as_nanos() as u64;
+        let iters =
+            (self.criterion.measure.as_nanos() as u64 / per_iter.max(1)).clamp(1, 1_000_000);
+        let total = f(iters);
+        let mean = total / iters as u32;
+        self.result = Some(Sample {
+            mean,
+            min: mean,
+            max: mean,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_throughput(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Bytes(b) => {
+            let per_s = b as f64 / secs;
+            if per_s >= 1e9 {
+                format!("{:.4} GiB/s", per_s / (1u64 << 30) as f64)
+            } else {
+                format!("{:.4} MiB/s", per_s / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(e) => format!("{:.4} Melem/s", e as f64 / secs / 1e6),
+    }
+}
+
+fn report(id: &str, sample: Sample, throughput: Option<Throughput>) {
+    let thrpt = throughput
+        .map(|t| format!("  thrpt: [{}]", fmt_throughput(t, sample.mean)))
+        .unwrap_or_default();
+    println!(
+        "{id:<40} time: [{} {} {}]{}  ({} iters)",
+        fmt_duration(sample.min),
+        fmt_duration(sample.mean),
+        fmt_duration(sample.max),
+        thrpt,
+        sample.iters,
+    );
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            criterion: self,
+            result: None,
+        };
+        f(&mut b);
+        if let Some(sample) = b.result {
+            report(name, sample, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            criterion: self.criterion,
+            result: None,
+        };
+        f(&mut b, input);
+        if let Some(sample) = b.result {
+            report(&format!("{}/{}", self.name, id.id), sample, self.throughput);
+        }
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            criterion: self.criterion,
+            result: None,
+        };
+        f(&mut b);
+        if let Some(sample) = b.result {
+            report(&format!("{}/{}", self.name, name), sample, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        std::env::set_var("BENCH_WARM_MS", "5");
+        std::env::set_var("BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        std::env::set_var("BENCH_WARM_MS", "5");
+        std::env::set_var("BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("id", 4), &4usize, |b, &n| {
+            b.iter(|| vec![0u8; n])
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_runs_requested_iterations() {
+        std::env::set_var("BENCH_WARM_MS", "5");
+        std::env::set_var("BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen.push(iters);
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(1 + 1);
+                }
+                t0.elapsed().max(Duration::from_nanos(50))
+            })
+        });
+        assert_eq!(seen.len(), 2, "warm pass + measured pass");
+        assert!(seen[0] == 1);
+    }
+}

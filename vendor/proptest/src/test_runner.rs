@@ -1,0 +1,93 @@
+//! Case execution for the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (`ProptestConfig` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is skipped.
+    Reject,
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failing variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Mixes the case index into a per-case seed (SplitMix64 finaliser) so
+/// consecutive cases get unrelated streams.
+fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut z = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1);
+    for b in test_name.bytes() {
+        z = (z ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `f` until `config.cases` cases succeed, panicking on the first
+/// failure. Deterministic: case `i` of a given test always sees the
+/// same RNG stream, so failures reproduce without a persistence file.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut f: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while successes < config.cases {
+        let mut rng = StdRng::seed_from_u64(case_seed(test_name, case));
+        match f(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejects}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case #{case} of '{test_name}' failed: {msg}");
+            }
+        }
+        case += 1;
+    }
+}

@@ -1,0 +1,3 @@
+//! Distribution re-exports (`rand::distributions` subset).
+
+pub use crate::Standard;

@@ -1,0 +1,210 @@
+//! Offline drop-in subset of `rayon`'s parallel-slice API.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! combinators the `tensor` kernels use: `par_chunks[_mut]` with `zip`,
+//! `enumerate` and `for_each`. Work is split eagerly into per-chunk
+//! items and distributed over scoped OS threads; on single-core hosts
+//! (`available_parallelism() == 1`) everything degrades to the plain
+//! sequential loop with no thread spawns at all.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Imports that light up the parallel slice methods.
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item, splitting the item list across scoped
+/// threads when the host has more than one core and there is enough
+/// work to amortise a spawn.
+fn drive<I: Send, F: Fn(I) + Sync>(items: Vec<I>, f: F) {
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let per = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let part: Vec<I> = it.by_ref().take(per).collect();
+        if part.is_empty() {
+            break;
+        }
+        parts.push(part);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for part in parts {
+            s.spawn(move || part.into_iter().for_each(f));
+        }
+    });
+}
+
+/// A fully-materialised "parallel iterator": a list of `Send` items plus
+/// the combinators the workspace uses.
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+/// The combinator surface shared by all parallel iterators here.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes into the materialised item list.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Pairs items positionally with another parallel iterator.
+    fn zip<B: ParallelIterator>(self, other: B) -> ParIter<(Self::Item, B::Item)> {
+        ParIter {
+            items: self
+                .into_items()
+                .into_iter()
+                .zip(other.into_items())
+                .collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` on every item, in parallel when worthwhile.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.into_items(), f);
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+
+    fn into_items(self) -> Vec<I> {
+        self.items
+    }
+}
+
+/// `&[T]` parallel views.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel equivalent of `chunks(size)`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+
+    /// Parallel equivalent of `iter`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+/// `&mut [T]` parallel views.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel equivalent of `chunks_mut(size)`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+
+    /// Parallel equivalent of `iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_for_each_touches_everything() {
+        let mut v = vec![1i32; 103];
+        v.par_chunks_mut(10).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let a = [0f32; 12];
+        let mut out = [0f32; 12];
+        out.par_chunks_mut(3)
+            .zip(a.par_chunks(3))
+            .for_each(|(o, s)| {
+                for (x, y) in o.iter_mut().zip(s) {
+                    *x = y + 1.0;
+                }
+            });
+        assert!(out.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn enumerate_indexes_chunks() {
+        let mut v = vec![0usize; 9];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn matches_sequential_matmul_shape_usage() {
+        // The exact pattern tensor::Matrix::matmul uses.
+        let (m, k, n) = (4, 3, 5);
+        let a: Vec<f32> = (0..m * k).map(|x| x as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| (x % 7) as f32).collect();
+        let mut out = vec![0f32; m * n];
+        out.par_chunks_mut(n)
+            .zip(a.par_chunks(k))
+            .for_each(|(out_row, a_row)| {
+                for (p, &av) in a_row.iter().enumerate() {
+                    for (o, &bv) in out_row.iter_mut().zip(&b[p * n..(p + 1) * n]) {
+                        *o += av * bv;
+                    }
+                }
+            });
+        let mut expect = vec![0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    expect[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        assert_eq!(out, expect);
+    }
+}
