@@ -11,9 +11,9 @@ fn run_allreduce(world: usize, n: usize, f16: bool) {
             s.spawn(move || {
                 let mut data = vec![rank.rank() as f32; n];
                 if f16 {
-                    rank.all_reduce_sum_f16(&mut data, 512.0);
+                    rank.all_reduce_sum_f16(&mut data, 512.0).unwrap();
                 } else {
-                    rank.all_reduce_sum(&mut data);
+                    rank.all_reduce_sum(&mut data).unwrap();
                 }
             });
         }
@@ -26,7 +26,7 @@ fn run_allgather(world: usize, n: usize) {
         for rank in ranks {
             s.spawn(move || {
                 let local = vec![rank.rank() as f32; n];
-                rank.all_gather_f32(&local);
+                rank.all_gather_f32(&local).unwrap();
             });
         }
     });
@@ -58,7 +58,8 @@ fn run_hierarchical(world: usize, n: usize, per_node: usize) {
         for rank in ranks {
             s.spawn(move || {
                 let mut data = vec![rank.rank() as f32; n];
-                rank.all_reduce_sum_hierarchical(&mut data, per_node);
+                rank.all_reduce_sum_hierarchical(&mut data, per_node)
+                    .unwrap();
             });
         }
     });

@@ -64,7 +64,7 @@ fn run_exchange(world: usize, cfg: ExchangeConfig) {
             s.spawn(move || {
                 let mut table = Embedding::from_matrix(Matrix::zeros(VOCAB, DIM));
                 let grad = zipfian_grad(rank.rank() as u64, TOKENS, VOCAB, DIM);
-                exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
+                exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg).unwrap();
             });
         }
     });
@@ -78,7 +78,7 @@ fn run_exchange(world: usize, cfg: ExchangeConfig) {
 fn seed_unique_exchange(rank: &Rank, grad: &SparseGrad, table: &mut Embedding, lr: f32) {
     let d = table.dim();
     let reduced = grad.local_reduce();
-    let all_indices = rank.all_gather_u32(&grad.indices);
+    let all_indices = rank.all_gather_u32(&grad.indices).unwrap();
     let mut unique = all_indices.clone();
     unique.sort_unstable();
     unique.dedup();
@@ -90,7 +90,7 @@ fn seed_unique_exchange(rank: &Rank, grad: &SparseGrad, table: &mut Embedding, l
             .expect("local index missing from global set");
         m[slot * d..(slot + 1) * d].copy_from_slice(reduced.rows.row(i));
     }
-    rank.all_reduce_sum(&mut m);
+    rank.all_reduce_sum(&mut m).unwrap();
     for (slot, &idx) in unique.iter().enumerate() {
         let dst = table.weights_mut().row_mut(idx as usize);
         for (w, &v) in dst.iter_mut().zip(&m[slot * d..(slot + 1) * d]) {
@@ -120,12 +120,12 @@ fn steady_state(
                     let grad = zipfian_grad(rank.rank() as u64, SS_TOKENS, SS_VOCAB, SS_DIM);
                     let mut scratch = ExchangeScratch::new();
                     step(&rank, &grad, &mut table, &mut scratch);
-                    rank.barrier();
+                    rank.barrier().unwrap();
                     let t0 = Instant::now();
                     for _ in 0..iters {
                         step(&rank, &grad, &mut table, &mut scratch);
                     }
-                    rank.barrier();
+                    rank.barrier().unwrap();
                     t0.elapsed()
                 })
             })
@@ -145,7 +145,7 @@ fn pooled_step(
     table: &mut Embedding,
     scratch: &mut ExchangeScratch,
 ) {
-    exchange_and_apply_with(rank, grad, table, 0.1, &ExchangeConfig::unique(), scratch);
+    exchange_and_apply_with(rank, grad, table, 0.1, &ExchangeConfig::unique(), scratch).unwrap();
 }
 
 fn seed_step(rank: &Rank, grad: &SparseGrad, table: &mut Embedding, _: &mut ExchangeScratch) {
@@ -222,7 +222,7 @@ fn report_phase_timings(_c: &mut Criterion) {
                             &ExchangeConfig::unique(),
                             &mut scratch,
                         );
-                        acc.accumulate(&stats.timings);
+                        acc.accumulate(&stats.unwrap().timings);
                     }
                     (rank.rank(), acc)
                 })

@@ -29,9 +29,15 @@
 //! already a canonical total order every rank derives independently.
 //! Per-phase wall-time (gather / unique / scatter / allreduce / apply)
 //! is recorded into [`PhaseTimings`] via [`simgpu::PhaseTimer`].
+//!
+//! Every exchange returns `Result<ExchangeStats, CommError>`: if any
+//! peer rank poisons the group mid-step (OOM, injected fault, panic),
+//! the collectives inside propagate the abort instead of deadlocking,
+//! and the caller is expected to bubble the error up to its own
+//! [`simgpu::Rank::abort`]-guarded step loop.
 
 use nn::{Embedding, SparseGrad};
-use simgpu::{PhaseTimer, Rank};
+use simgpu::{CommError, PhaseTimer, Rank};
 
 /// How to run an exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -221,7 +227,7 @@ pub fn exchange_and_apply(
     table: &mut Embedding,
     lr: f32,
     cfg: &ExchangeConfig,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     let mut scratch = ExchangeScratch::new();
     exchange_and_apply_with(rank, grad, table, lr, cfg, &mut scratch)
 }
@@ -235,7 +241,7 @@ pub fn exchange_and_apply_with(
     lr: f32,
     cfg: &ExchangeConfig,
     scratch: &mut ExchangeScratch,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     if cfg.unique {
         unique_exchange_with(rank, grad, table, lr, cfg.compression, scratch)
     } else {
@@ -250,7 +256,7 @@ pub fn baseline_exchange(
     table: &mut Embedding,
     lr: f32,
     compression: Option<f32>,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     let mut scratch = ExchangeScratch::new();
     baseline_exchange_with(rank, grad, table, lr, compression, &mut scratch)
 }
@@ -265,17 +271,19 @@ pub fn baseline_exchange_with(
     lr: f32,
     compression: Option<f32>,
     scratch: &mut ExchangeScratch,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
     let mut timer = PhaseTimer::start();
     let mut timings = PhaseTimings::default();
 
-    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices);
+    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
     match compression {
-        Some(scale) => rank.all_gather_f16_into(grad.rows.as_slice(), scale, &mut scratch.all_rows),
-        None => rank.all_gather_f32_into(grad.rows.as_slice(), &mut scratch.all_rows),
+        Some(scale) => {
+            rank.all_gather_f16_into(grad.rows.as_slice(), scale, &mut scratch.all_rows)?
+        }
+        None => rank.all_gather_f32_into(grad.rows.as_slice(), &mut scratch.all_rows)?,
     }
     debug_assert_eq!(scratch.all_rows.len(), scratch.all_indices.len() * d);
     timings.gather_ns = timer.lap_ns();
@@ -299,14 +307,14 @@ pub fn baseline_exchange_with(
     let total_rows = scratch.all_indices.len() as u64;
     let peak_buffer_bytes = total_rows * 4 + total_rows * (d as u64) * 4;
 
-    ExchangeStats {
+    Ok(ExchangeStats {
         local_tokens: n_local,
         unique_local: 0,
         unique_global: 0,
         wire_bytes,
         peak_buffer_bytes,
         timings,
-    }
+    })
 }
 
 /// [`unique_exchange_with`] with a throwaway scratch pool.
@@ -316,7 +324,7 @@ pub fn unique_exchange(
     table: &mut Embedding,
     lr: f32,
     compression: Option<f32>,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     let mut scratch = ExchangeScratch::new();
     unique_exchange_with(rank, grad, table, lr, compression, &mut scratch)
 }
@@ -329,7 +337,7 @@ pub fn unique_exchange_with(
     lr: f32,
     compression: Option<f32>,
     scratch: &mut ExchangeScratch,
-) -> ExchangeStats {
+) -> Result<ExchangeStats, CommError> {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
@@ -344,7 +352,7 @@ pub fn unique_exchange_with(
     timings.unique_ns = timer.lap_ns();
 
     // Step 3: ALLGATHER the *index* vectors J (Θ(G·K), not Θ(G·K·D)).
-    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices);
+    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
     timings.gather_ns = timer.lap_ns();
 
     // Step 4: filter to the globally-unique, canonically-ordered index
@@ -369,8 +377,8 @@ pub fn unique_exchange_with(
 
     // Step 6: ALLREDUCE the aligned matrices.
     match compression {
-        Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale),
-        None => rank.all_reduce_sum(&mut scratch.m),
+        Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale)?,
+        None => rank.all_reduce_sum(&mut scratch.m)?,
     }
     timings.allreduce_ns = timer.lap_ns();
 
@@ -390,18 +398,22 @@ pub fn unique_exchange_with(
     // when Ug·D does not divide by G).
     let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1)
         + simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes);
-    // Buffers: G·K gathered indices + Ug·D scatter matrix.
-    let peak_buffer_bytes =
-        (scratch.all_indices.len() as u64) * 4 + (u_global as u64) * (d as u64) * 4;
+    // Buffers live simultaneously at the ALLREDUCE: G·K gathered
+    // indices, the locally-reduced Ĵ (Ui indices) + ∆̂ (Ui×D rows) that
+    // step 5 scatters from, and the Ug×D matrix M itself.
+    let peak_buffer_bytes = (scratch.all_indices.len() as u64) * 4
+        + (u_local as u64) * 4
+        + (u_local as u64) * (d as u64) * 4
+        + (u_global as u64) * (d as u64) * 4;
 
-    ExchangeStats {
+    Ok(ExchangeStats {
         local_tokens: n_local,
         unique_local: u_local,
         unique_global: u_global,
         wire_bytes,
         peak_buffer_bytes,
         timings,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -454,7 +466,7 @@ mod tests {
         run_group(world, |rank| {
             let mut table = make_table(7);
             let grad = make_grad(100 + rank.rank() as u64, 12);
-            let stats = exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
+            let stats = exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg).unwrap();
             (table.weights().clone(), stats)
         })
     }
@@ -542,7 +554,7 @@ mod tests {
                 indices: vec![3, 3, 7, 3, 7, 3],
                 rows: Matrix::zeros(6, D),
             };
-            exchange_and_apply(&rank, &grad, &mut table, 0.1, &ExchangeConfig::unique())
+            exchange_and_apply(&rank, &grad, &mut table, 0.1, &ExchangeConfig::unique()).unwrap()
         });
         for s in &res {
             assert_eq!(s.local_tokens, 6);
@@ -566,7 +578,7 @@ mod tests {
                 indices,
                 rows: Matrix::zeros(n, D),
             };
-            exchange_and_apply(rank, &grad, &mut table, 0.1, cfg)
+            exchange_and_apply(rank, &grad, &mut table, 0.1, cfg).unwrap()
         };
         let base = run_group(world, |rank| mk(&rank, &cfg_b));
         let uniq = run_group(world, |rank| mk(&rank, &cfg_u));
@@ -585,7 +597,7 @@ mod tests {
             run_group(world, |rank| {
                 let mut table = make_table(3);
                 let grad = make_grad(rank.rank() as u64, 16);
-                baseline_exchange(&rank, &grad, &mut table, 0.1, None)
+                baseline_exchange(&rank, &grad, &mut table, 0.1, None).unwrap()
             })[0]
                 .peak_buffer_bytes
         };
@@ -608,7 +620,7 @@ mod tests {
                     indices,
                     rows: Matrix::zeros(n, D),
                 };
-                unique_exchange(&rank, &grad, &mut table, 0.1, None)
+                unique_exchange(&rank, &grad, &mut table, 0.1, None).unwrap()
             })[0]
         };
         let s2 = grab(2);
@@ -649,7 +661,7 @@ mod tests {
                 let mut table = make_table(5);
                 let grad = make_grad(400 + rank.rank() as u64, 24);
                 let mut scratch = ExchangeScratch::new();
-                exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch).unwrap();
                 let caps = |s: &ExchangeScratch| {
                     (
                         s.all_indices.capacity(),
@@ -663,7 +675,8 @@ mod tests {
                 };
                 let warm = caps(&scratch);
                 for step in 0..5 {
-                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch)
+                        .unwrap();
                     assert_eq!(caps(&scratch), warm, "buffer grew at step {step}");
                 }
             });
@@ -687,10 +700,12 @@ mod tests {
                 // Pollute the pool with an unrelated step first.
                 let warm = make_grad(900 + rank.rank() as u64, 20);
                 let mut warm_table = make_table(8);
-                exchange_and_apply_with(&rank, &warm, &mut warm_table, 0.1, &cfg, &mut scratch);
+                exchange_and_apply_with(&rank, &warm, &mut warm_table, 0.1, &cfg, &mut scratch)
+                    .unwrap();
                 let grad = make_grad(100 + rank.rank() as u64, 12);
                 let stats =
-                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch);
+                    exchange_and_apply_with(&rank, &grad, &mut table, 0.1, &cfg, &mut scratch)
+                        .unwrap();
                 (table.weights().clone(), stats)
             });
             for (a, b) in oneshot.iter().zip(&pooled) {
@@ -723,7 +738,7 @@ mod tests {
                 rows: Matrix::zeros(n, D),
             };
             let mut scratch = ExchangeScratch::new();
-            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch);
+            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch).unwrap();
             scratch.unique.clone()
         });
         let expected = vec![9u32, 2, 5, 7, 0, 1];
@@ -742,7 +757,7 @@ mod tests {
             // Large enough that every phase takes measurable time.
             let grad = make_grad_sized(rank.rank() as u64, 512, 2000, 32);
             let mut scratch = ExchangeScratch::new();
-            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch)
+            unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch).unwrap()
         });
         for s in &res {
             let t = s.timings;
@@ -763,7 +778,7 @@ mod tests {
                 Embedding::new(&mut rng, 2000, 32)
             };
             let grad = make_grad_sized(rank.rank() as u64, 512, 2000, 32);
-            baseline_exchange(&rank, &grad, &mut table, 0.1, None)
+            baseline_exchange(&rank, &grad, &mut table, 0.1, None).unwrap()
         });
         for s in &base {
             assert!(s.timings.gather_ns > 0);

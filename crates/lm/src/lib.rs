@@ -58,4 +58,5 @@ pub use exchange::{
 };
 pub use metrics::{EpochMetrics, StepMetrics, TrainReport};
 pub use seeding::SeedStrategy;
-pub use trainer::{train, train_with_memory_limit, TrainError};
+pub use simgpu::{CommError, FaultPlan};
+pub use trainer::{train, train_with_faults, train_with_memory_limit, TrainError};

@@ -15,9 +15,18 @@
 //!    device memory (this is where the baseline OOMs, Tables III/IV);
 //! 6. simulated wall-clock time is accumulated from the α–β cost model.
 //!
-//! OOM behaviour is symmetric: buffer sizes are identical on every rank
-//! at the same step, so either all ranks fail together (no deadlock) or
-//! none do.
+//! ## Failure model
+//!
+//! Any rank can fail at any point — an asymmetric OOM (per-rank memory
+//! limits via [`simgpu::FaultPlan`]), an injected death, a panic. A
+//! failing rank poisons the communicator ([`simgpu::Rank::abort`],
+//! backed by a RAII [`simgpu::AbortOnDrop`] guard around the whole step
+//! loop), so every surviving rank's next collective returns
+//! `Err(CommError)` instead of deadlocking. That surfaces here as
+//! [`TrainError::PeerFailure`] naming the first failed rank — within
+//! one collective's latency, never an unbounded hang. Fault injection
+//! (kill-at-step, stragglers, asymmetric limits) is threaded through
+//! [`train_with_faults`]; symmetric-failure assumptions are gone.
 
 use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
@@ -29,12 +38,12 @@ use nn::optimizer::scaled_lr;
 use nn::{CharLm, WordLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simgpu::{CommGroup, CostModel, Device, HardwareConfig, OomError, Rank};
+use simgpu::{CommError, CommGroup, CostModel, Device, FaultPlan, HardwareConfig, OomError, Rank};
 use std::fmt;
 use std::sync::Arc;
 
 /// Why a training run failed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TrainError {
     /// A simulated device ran out of memory (the paper's `*` entries).
     Oom(OomError),
@@ -44,6 +53,14 @@ pub enum TrainError {
         shard_tokens: usize,
         /// Tokens needed for one step.
         needed: usize,
+    },
+    /// Another rank failed (OOM, injected death, panic) and poisoned
+    /// the communicator; this rank observed the abort at a collective.
+    PeerFailure {
+        /// First rank that failed.
+        rank: usize,
+        /// Why that rank failed.
+        reason: String,
     },
 }
 
@@ -58,11 +75,23 @@ impl fmt::Display for TrainError {
                 f,
                 "shard too small: {shard_tokens} tokens, need at least {needed}"
             ),
+            TrainError::PeerFailure { rank, reason } => {
+                write!(f, "training aborted: rank {rank} failed ({reason})")
+            }
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+impl From<CommError> for TrainError {
+    fn from(e: CommError) -> Self {
+        TrainError::PeerFailure {
+            rank: e.failed_rank,
+            reason: e.reason,
+        }
+    }
+}
 
 /// Maximum validation batches evaluated per epoch (the full validation
 /// stream is used when it is smaller).
@@ -79,10 +108,45 @@ pub fn train(cfg: &TrainConfig) -> Result<TrainReport, TrainError> {
 
 /// Trains per `cfg` with each simulated GPU capped at `gpu_mem_bytes` —
 /// used to reproduce the baseline's OOM cliffs in miniature.
+///
+/// Collapses the per-rank results of [`train_with_faults`] (no faults
+/// injected) into one: the first *root-cause* error (OOM, bad data) is
+/// preferred over [`TrainError::PeerFailure`] echoes, so callers see
+/// *why* the run died, not merely that a peer did.
 pub fn train_with_memory_limit(
     cfg: &TrainConfig,
     gpu_mem_bytes: u64,
 ) -> Result<TrainReport, TrainError> {
+    let mut results = train_with_faults(cfg, gpu_mem_bytes, &FaultPlan::none());
+    let mut peer_failure = None;
+    for res in &results {
+        match res {
+            Err(TrainError::PeerFailure { .. }) if peer_failure.is_none() => {
+                peer_failure = Some(res.clone().unwrap_err());
+            }
+            Err(e) if !matches!(e, TrainError::PeerFailure { .. }) => return Err(e.clone()),
+            _ => {}
+        }
+    }
+    if let Some(e) = peer_failure {
+        return Err(e);
+    }
+    results.swap_remove(0)
+}
+
+/// Trains per `cfg` with fault injection, returning every rank's own
+/// outcome (index = rank id).
+///
+/// Per-rank device capacity is `gpu_mem_bytes` unless `plan` overrides
+/// it for that rank. A rank the plan kills (or one that OOMs under an
+/// asymmetric limit) poisons the communicator, so every surviving rank
+/// returns [`TrainError::PeerFailure`] naming the first failed rank
+/// within bounded time — no deadlock, every thread joins.
+pub fn train_with_faults(
+    cfg: &TrainConfig,
+    gpu_mem_bytes: u64,
+    plan: &FaultPlan,
+) -> Vec<Result<TrainReport, TrainError>> {
     assert!(cfg.gpus >= 1 && cfg.epochs >= 1);
     let (train_tokens, valid_tokens, model_vocab) = prepare_data(cfg);
     let train_tokens = Arc::new(train_tokens);
@@ -95,15 +159,19 @@ pub fn train_with_memory_limit(
     let shard_tokens = train_tokens.len() / cfg.gpus;
     let needed = cfg.batch * (cfg.seq_len + 1);
     if shard_tokens < needed {
-        return Err(TrainError::DataTooSmall {
-            shard_tokens,
-            needed,
-        });
+        return (0..cfg.gpus)
+            .map(|_| {
+                Err(TrainError::DataTooSmall {
+                    shard_tokens,
+                    needed,
+                })
+            })
+            .collect();
     }
 
     let cost = CostModel::new(HardwareConfig::titan_x_cluster(), cfg.model.utilization());
     let devices: Vec<Arc<Device>> = (0..cfg.gpus)
-        .map(|i| Device::new(i, gpu_mem_bytes))
+        .map(|i| Device::new(i, plan.mem_limit(i).unwrap_or(gpu_mem_bytes)))
         .collect();
     let ranks = CommGroup::create(cfg.gpus);
 
@@ -128,6 +196,7 @@ pub fn train_with_memory_limit(
                         &train_tokens,
                         &valid_tokens,
                         &cost,
+                        plan,
                     )
                 })
             })
@@ -138,15 +207,16 @@ pub fn train_with_memory_limit(
     });
 
     let peak_mem = devices.iter().map(|d| d.peak()).max().unwrap_or(0);
-    let mut rank0 = results[0].take().unwrap()?;
-    // Propagate any other rank's error (symmetric OOM means rank 0 saw
-    // it too, but be defensive).
-    for r in results.into_iter().flatten() {
-        r?;
-    }
-    rank0.report.peak_mem_bytes = peak_mem;
-    rank0.report.gpus = cfg.gpus;
-    Ok(rank0.report)
+    results
+        .into_iter()
+        .map(|res| {
+            res.unwrap().map(|mut out| {
+                out.report.peak_mem_bytes = peak_mem;
+                out.report.gpus = cfg.gpus;
+                out.report
+            })
+        })
+        .collect()
 }
 
 /// Sequential-structure strength of the synthetic corpora: with this
@@ -327,6 +397,7 @@ fn run_rank(
     train_tokens: &[u32],
     valid_tokens: &[u32],
     cost: &CostModel,
+    plan: &FaultPlan,
 ) -> Result<RankOutput, TrainError> {
     let g = cfg.gpus;
     let r = rank.rank();
@@ -339,10 +410,18 @@ fn run_rank(
     let hw_gpus_per_node = cost.hardware().gpus_per_node;
     let mut lr = scaled_lr(cfg.base_lr, g, hw_gpus_per_node);
 
+    // Safety net: if this rank unwinds (an `?` below, a panic in the
+    // model code) the armed guard poisons the group, so peers error out
+    // of their next collective instead of hanging. Known failure sites
+    // additionally abort with a precise reason first — first failure
+    // wins, so the guard's generic reason only surfaces for surprises.
+    let guard = rank.abort_on_drop(format!("rank {r} exited the step loop early"));
+
     // Persistent model memory.
-    let _model_alloc = device
-        .try_alloc(replica.param_bytes())
-        .map_err(TrainError::Oom)?;
+    let _model_alloc = device.try_alloc(replica.param_bytes()).map_err(|e| {
+        rank.abort(format!("rank {r} OOM on model parameters: {e}"));
+        TrainError::Oom(e)
+    })?;
 
     let mut report = TrainReport::default();
     let mut global_step: u64 = 0;
@@ -364,6 +443,14 @@ fn run_rank(
         let mut epoch_time = 0.0f64;
 
         for _ in 0..steps {
+            if plan.should_die(r, global_step as usize) {
+                let reason = format!("rank {r} killed by fault plan at step {global_step}");
+                rank.abort(reason.clone());
+                return Err(TrainError::PeerFailure { rank: r, reason });
+            }
+            if let Some(delay) = plan.straggler_delay(r) {
+                std::thread::sleep(delay);
+            }
             let batch = match iter.next() {
                 Some(b) => b,
                 None => {
@@ -386,8 +473,8 @@ fn run_rank(
             // Dense ALLREDUCE + average.
             let mut dense = out.dense;
             match cfg.method.compression {
-                Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale),
-                None => rank.all_reduce_sum(&mut dense),
+                Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale)?,
+                None => rank.all_reduce_sum(&mut dense)?,
             }
             let inv_g = 1.0 / g as f32;
             for v in &mut dense {
@@ -398,11 +485,9 @@ fn run_rank(
             } else {
                 4
             };
-            let dense_bytes = if g > 1 {
-                2 * (g as u64 - 1) * dense.len() as u64 * elem / g as u64
-            } else {
-                0
-            };
+            // Exact per-rank ring bytes from the chunk schedule — matches
+            // the traffic recorder even when dense.len() ∤ g.
+            let dense_bytes = simgpu::ring_allreduce_send_bytes(dense.len(), g, r, elem);
 
             // Embedding exchanges (applied with lr/G: sum → average).
             let dim = replica.embed_dim();
@@ -415,7 +500,7 @@ fn run_rank(
                 lr_eff,
                 &xcfg,
                 &mut in_scratch,
-            );
+            )?;
             let out_stats = match (out.output_grad, replica.output_table()) {
                 (Some(grad), Some(table)) => Some(exchange_and_apply_with(
                     &rank,
@@ -424,23 +509,30 @@ fn run_rank(
                     lr_eff,
                     &xcfg,
                     &mut out_scratch,
-                )),
+                )?),
                 _ => None,
             };
 
-            // Charge transient buffers against the device (symmetric
-            // across ranks, so OOM cannot deadlock the group).
+            // Charge transient buffers against the device. Capacities
+            // (and Ui-dependent buffer sizes) may differ per rank, so a
+            // one-sided OOM must poison the group: peers then error out
+            // of the loss reduction below instead of deadlocking.
             let transient = in_stats.peak_buffer_bytes
                 + out_stats.map(|s| s.peak_buffer_bytes).unwrap_or(0)
                 + dense.len() as u64 * 4;
             {
-                let _t = device.try_alloc(transient).map_err(TrainError::Oom)?;
+                let _t = device.try_alloc(transient).map_err(|e| {
+                    rank.abort(format!(
+                        "rank {r} OOM on exchange buffers at step {global_step}: {e}"
+                    ));
+                    TrainError::Oom(e)
+                })?;
             }
 
             replica.apply_dense(&dense, lr);
 
             // Synchronised mean loss.
-            let loss = rank.all_reduce_scalar_f64(out.loss) / g as f64;
+            let loss = rank.all_reduce_scalar_f64(out.loss)? / g as f64;
             epoch_loss += loss;
 
             // Simulated step time on the Table II hardware.
@@ -475,14 +567,15 @@ fn run_rank(
             global_step += 1;
         }
 
-        // Validation (replicas are identical; rank 0's numbers stand for
-        // all).
-        let valid_nll = if valid_tokens.is_empty() {
-            f64::NAN
-        } else {
-            replica.valid_loss(valid_tokens, cfg.batch.min(4), cfg.seq_len)
-        };
+        // Validation on rank 0 only: replicas are identical, evaluation
+        // involves no collectives, and the other G−1 passes were pure
+        // discarded work.
         if is_rank0 {
+            let valid_nll = if valid_tokens.is_empty() {
+                f64::NAN
+            } else {
+                replica.valid_loss(valid_tokens, cfg.batch.min(4), cfg.seq_len)
+            };
             report.epochs.push(EpochMetrics {
                 epoch,
                 train_loss: epoch_loss / steps.max(1) as f64,
@@ -500,6 +593,7 @@ fn run_rank(
     } else {
         0.0
     };
+    guard.disarm();
     Ok(RankOutput { report })
 }
 

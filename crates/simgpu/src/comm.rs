@@ -16,9 +16,24 @@
 //! factor, down-cast to binary16 for every hop, up-cast and un-scaled on
 //! receipt — so quantisation error accumulates per hop exactly as a real
 //! FP16 wire format would impose.
+//!
+//! ## Failure model
+//!
+//! Synchronous collectives deadlock if one rank stops calling them: every
+//! peer blocks on the step barrier forever. The group therefore carries a
+//! group-wide **abort flag**, and every barrier inside every collective is
+//! abort-checking: [`Rank::abort`] (or a dropped, still-armed
+//! [`AbortOnDrop`] guard — the RAII net for early returns and panics
+//! between collectives) records the first failed rank and wakes all
+//! waiters. Every collective returns `Result<_, CommError>`, and a
+//! surviving rank is guaranteed to observe `Err` no later than its next
+//! barrier crossing — bounded time, no stranded threads. The abort is
+//! permanent: a poisoned group cannot be revived, matching the MPI
+//! convention that a communicator with a dead member is unusable.
 
 use crate::traffic::{TrafficRecorder, TrafficSnapshot};
-use std::sync::{Arc, Barrier};
+use std::fmt;
+use std::sync::{Arc, Condvar};
 
 /// Thin wrapper over `std::sync::Mutex` with `parking_lot`-style
 /// `lock()` ergonomics (no `Result`). A poisoned lock is recovered
@@ -37,6 +52,108 @@ impl<T> Mutex<T> {
         self.0
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A collective failed because some rank poisoned the group.
+///
+/// Carries the *first* failure only: later aborts lose the race and keep
+/// the original attribution, so every surviving rank reports the same
+/// root cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommError {
+    /// Rank whose failure poisoned the group.
+    pub failed_rank: usize,
+    /// Human-readable description of that first failure.
+    pub reason: String,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collective aborted: rank {} failed ({})",
+            self.failed_rank, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Barrier state behind the abort-aware barrier's mutex.
+#[derive(Debug, Default)]
+struct BarrierState {
+    /// Ranks parked in the current round.
+    arrived: usize,
+    /// Incremented each time a round completes; waiters key on it.
+    generation: u64,
+    /// First failure, if any. Permanent once set.
+    abort: Option<CommError>,
+}
+
+/// `std::sync::Barrier` with an escape hatch: [`AbortBarrier::abort`]
+/// wakes every parked waiter and makes this and all future waits return
+/// the recorded [`CommError`] immediately. This is what converts "one
+/// rank died" from an eternal hang into typed error propagation.
+#[derive(Debug)]
+struct AbortBarrier {
+    world: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+impl AbortBarrier {
+    fn new(world: usize) -> Self {
+        Self {
+            world,
+            state: Mutex::new(BarrierState::default()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Parks until all `world` ranks arrive, or until the group aborts.
+    fn wait(&self) -> Result<(), CommError> {
+        let mut st = self.state.lock();
+        if let Some(e) = &st.abort {
+            return Err(e.clone());
+        }
+        st.arrived += 1;
+        if st.arrived == self.world {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        loop {
+            st = self
+                .cvar
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Generation first: if the round completed before the abort
+            // landed, this barrier crossing succeeded — the caller will
+            // observe the abort at its next crossing.
+            if st.generation != gen {
+                return Ok(());
+            }
+            if let Some(e) = &st.abort {
+                return Err(e.clone());
+            }
+        }
+    }
+
+    /// Poisons the group (first failure wins) and wakes all waiters.
+    fn abort(&self, err: CommError) {
+        let mut st = self.state.lock();
+        if st.abort.is_none() {
+            st.abort = Some(err);
+        }
+        self.cvar.notify_all();
+    }
+
+    /// The recorded failure, if the group is poisoned.
+    fn status(&self) -> Option<CommError> {
+        self.state.lock().abort.clone()
     }
 }
 
@@ -111,7 +228,7 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 /// Shared state of one communicator group.
 struct GroupCore {
     world: usize,
-    barrier: Barrier,
+    barrier: AbortBarrier,
     /// Receiver-indexed mailboxes for ring steps (single writer per step).
     mailbox_f32: Vec<Mutex<Vec<f32>>>,
     mailbox_u16: Vec<Mutex<Vec<u16>>>,
@@ -133,7 +250,7 @@ struct GroupCore {
 ///         .into_iter()
 ///         .map(|rank| s.spawn(move || {
 ///             let mut v = vec![rank.rank() as f32; 8];
-///             rank.all_reduce_sum(&mut v);
+///             rank.all_reduce_sum(&mut v).expect("no rank aborted");
 ///             v[0]
 ///         }))
 ///         .collect();
@@ -150,7 +267,7 @@ impl CommGroup {
         assert!(world >= 1, "group needs at least one rank");
         let core = Arc::new(GroupCore {
             world,
-            barrier: Barrier::new(world),
+            barrier: AbortBarrier::new(world),
             mailbox_f32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             mailbox_u16: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_u32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
@@ -212,9 +329,41 @@ impl Rank {
         self.core.world
     }
 
-    /// Synchronises all ranks.
-    pub fn barrier(&self) {
-        self.core.barrier.wait();
+    /// Synchronises all ranks; `Err` if any rank aborted the group.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        self.core.barrier.wait()
+    }
+
+    /// Poisons the group on behalf of this rank: all peers blocked in a
+    /// collective wake with `Err`, and every future collective fails
+    /// immediately. Idempotent; the first abort's attribution wins.
+    pub fn abort(&self, reason: impl Into<String>) {
+        self.core.barrier.abort(CommError {
+            failed_rank: self.rank,
+            reason: reason.into(),
+        });
+    }
+
+    /// Cheap non-blocking poll: `Err` if the group is poisoned. Lets
+    /// long local compute phases between collectives bail out early.
+    pub fn check_abort(&self) -> Result<(), CommError> {
+        match self.core.barrier.status() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// RAII failure net: the returned guard [`Rank::abort`]s the group
+    /// with `reason` when dropped, unless [`AbortOnDrop::disarm`]ed
+    /// first. Arm it on entry to a rank's work loop so an early `return`
+    /// or a panic between collectives poisons the group instead of
+    /// stranding every peer at the next barrier.
+    pub fn abort_on_drop(&self, reason: impl Into<String>) -> AbortOnDrop<'_> {
+        AbortOnDrop {
+            rank: self,
+            reason: reason.into(),
+            armed: true,
+        }
     }
 
     /// Snapshot of the group's cumulative traffic counters.
@@ -224,24 +373,25 @@ impl Rank {
 
     /// Resets the group traffic counters (call from every rank — it
     /// barriers internally so the reset is race-free).
-    pub fn reset_traffic(&self) {
-        self.barrier();
+    pub fn reset_traffic(&self) -> Result<(), CommError> {
+        self.barrier()?;
         if self.rank == 0 {
             self.core.traffic.reset();
         }
-        self.barrier();
+        self.barrier()
     }
 
     /// Ring ALLREDUCE (sum) over `data`; on return every rank holds the
     /// elementwise sum across all ranks. All ranks must pass equal-length
-    /// buffers.
-    pub fn all_reduce_sum(&self, data: &mut [f32]) {
+    /// buffers. `Err` (with the buffer in an unspecified partial state)
+    /// if any rank aborts the group mid-collective.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), CommError> {
         let g = self.core.world;
         if self.rank == 0 {
             self.core.traffic.count_allreduce_op();
         }
         if g == 1 {
-            return;
+            return Ok(());
         }
         let n = data.len();
         let r = self.rank;
@@ -258,7 +408,7 @@ impl Rank {
                 mb.extend_from_slice(&data[range.clone()]);
             }
             self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier();
+            self.barrier()?;
             let recv_chunk = (r + g - s - 1) % g;
             let rr = chunk_range(n, g, recv_chunk);
             {
@@ -267,7 +417,7 @@ impl Rank {
                     *d += m;
                 }
             }
-            self.barrier();
+            self.barrier()?;
         }
 
         // Phase 2: all-gather of the reduced chunks. After reduce-scatter,
@@ -281,15 +431,16 @@ impl Rank {
                 mb.extend_from_slice(&data[range.clone()]);
             }
             self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier();
+            self.barrier()?;
             let recv_chunk = (r + g - s) % g;
             let rr = chunk_range(n, g, recv_chunk);
             {
                 let mb = self.core.mailbox_f32[r].lock();
                 data[rr].copy_from_slice(&mb);
             }
-            self.barrier();
+            self.barrier()?;
         }
+        Ok(())
     }
 
     /// Ring ALLREDUCE with FP16 wire compression and compression-scaling
@@ -297,14 +448,14 @@ impl Rank {
     /// and the receiver up-casts and divides. Halves wire bytes relative
     /// to [`Rank::all_reduce_sum`]; quantisation error accumulates per
     /// hop as on real FP16 interconnect paths.
-    pub fn all_reduce_sum_f16(&self, data: &mut [f32], scale: f32) {
+    pub fn all_reduce_sum_f16(&self, data: &mut [f32], scale: f32) -> Result<(), CommError> {
         assert!(scale > 0.0, "compression scale must be positive");
         let g = self.core.world;
         if self.rank == 0 {
             self.core.traffic.count_allreduce_op();
         }
         if g == 1 {
-            return;
+            return Ok(());
         }
         let n = data.len();
         let r = self.rank;
@@ -324,7 +475,7 @@ impl Rank {
                 );
             }
             self.core.traffic.record_allreduce((range.len() * 2) as u64);
-            self.barrier();
+            self.barrier()?;
             let recv_chunk = (r + g - s - 1) % g;
             let rr = chunk_range(n, g, recv_chunk);
             {
@@ -333,7 +484,7 @@ impl Rank {
                     *d += f16_bits_to_f32(h) * inv;
                 }
             }
-            self.barrier();
+            self.barrier()?;
         }
 
         // Quantise the owned (fully-reduced) chunk before distributing so
@@ -359,7 +510,7 @@ impl Rank {
                 );
             }
             self.core.traffic.record_allreduce((range.len() * 2) as u64);
-            self.barrier();
+            self.barrier()?;
             let recv_chunk = (r + g - s) % g;
             let rr = chunk_range(n, g, recv_chunk);
             {
@@ -368,24 +519,25 @@ impl Rank {
                     *d = f16_bits_to_f32(h) * inv;
                 }
             }
-            self.barrier();
+            self.barrier()?;
         }
+        Ok(())
     }
 
     /// Variable-size ALLGATHER of `u32` payloads: returns every rank's
     /// contribution concatenated in rank order (identical on all ranks).
     /// This is the cheap index exchange at the heart of the paper's
     /// uniqueness technique — `Θ(G·K)` elements instead of `Θ(G·K·D)`.
-    pub fn all_gather_u32(&self, local: &[u32]) -> Vec<u32> {
+    pub fn all_gather_u32(&self, local: &[u32]) -> Result<Vec<u32>, CommError> {
         let mut out = Vec::new();
-        self.all_gather_u32_into(local, &mut out);
-        out
+        self.all_gather_u32_into(local, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free [`Rank::all_gather_u32`]: the result replaces
     /// `out`'s contents, reusing its capacity (hot loops pass the same
     /// buffer every step so steady state performs zero heap allocation).
-    pub fn all_gather_u32_into(&self, local: &[u32], out: &mut Vec<u32>) {
+    pub fn all_gather_u32_into(&self, local: &[u32], out: &mut Vec<u32>) -> Result<(), CommError> {
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
         }
@@ -399,25 +551,25 @@ impl Rank {
         self.core
             .traffic
             .record_allgather((local.len() * 4 * (g - 1)) as u64);
-        self.barrier();
+        self.barrier()?;
         out.clear();
         for s in 0..g {
             out.extend_from_slice(&self.core.gather_u32[s].lock());
         }
-        self.barrier();
+        self.barrier()
     }
 
     /// Variable-size ALLGATHER of `f32` payloads, rank order — the
     /// paper's *baseline* dense gradient exchange (`Θ(G·K·D)` memory and
     /// wire bytes).
-    pub fn all_gather_f32(&self, local: &[f32]) -> Vec<f32> {
+    pub fn all_gather_f32(&self, local: &[f32]) -> Result<Vec<f32>, CommError> {
         let mut out = Vec::new();
-        self.all_gather_f32_into(local, &mut out);
-        out
+        self.all_gather_f32_into(local, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free [`Rank::all_gather_f32`], reusing `out`'s capacity.
-    pub fn all_gather_f32_into(&self, local: &[f32], out: &mut Vec<f32>) {
+    pub fn all_gather_f32_into(&self, local: &[f32], out: &mut Vec<f32>) -> Result<(), CommError> {
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
         }
@@ -430,24 +582,29 @@ impl Rank {
         self.core
             .traffic
             .record_allgather((local.len() * 4 * (g - 1)) as u64);
-        self.barrier();
+        self.barrier()?;
         out.clear();
         for s in 0..g {
             out.extend_from_slice(&self.core.gather_f32[s].lock());
         }
-        self.barrier();
+        self.barrier()
     }
 
     /// FP16-compressed ALLGATHER of `f32` payloads with compression
     /// scaling — the baseline exchange under §III-C compression.
-    pub fn all_gather_f16(&self, local: &[f32], scale: f32) -> Vec<f32> {
+    pub fn all_gather_f16(&self, local: &[f32], scale: f32) -> Result<Vec<f32>, CommError> {
         let mut out = Vec::new();
-        self.all_gather_f16_into(local, scale, &mut out);
-        out
+        self.all_gather_f16_into(local, scale, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free [`Rank::all_gather_f16`], reusing `out`'s capacity.
-    pub fn all_gather_f16_into(&self, local: &[f32], scale: f32, out: &mut Vec<f32>) {
+    pub fn all_gather_f16_into(
+        &self,
+        local: &[f32],
+        scale: f32,
+        out: &mut Vec<f32>,
+    ) -> Result<(), CommError> {
         assert!(scale > 0.0, "compression scale must be positive");
         if self.rank == 0 {
             self.core.traffic.count_allgather_op();
@@ -461,19 +618,19 @@ impl Rank {
         self.core
             .traffic
             .record_allgather((local.len() * 2 * (g - 1)) as u64);
-        self.barrier();
+        self.barrier()?;
         let inv = 1.0 / scale;
         out.clear();
         for s in 0..g {
             let slot = self.core.gather_u16[s].lock();
             out.extend(slot.iter().map(|&h| f16_bits_to_f32(h) * inv));
         }
-        self.barrier();
+        self.barrier()
     }
 
     /// Sums one scalar across ranks in rank order (deterministic) — used
     /// for loss averaging and metric reduction.
-    pub fn all_reduce_scalar_f64(&self, v: f64) -> f64 {
+    pub fn all_reduce_scalar_f64(&self, v: f64) -> Result<f64, CommError> {
         let g = self.core.world;
         {
             let mut slot = self.core.gather_f64[self.rank].lock();
@@ -481,13 +638,13 @@ impl Rank {
             slot.push(v);
         }
         self.core.traffic.record_allreduce((8 * (g - 1)) as u64);
-        self.barrier();
+        self.barrier()?;
         let mut sum = 0.0;
         for s in 0..g {
             sum += self.core.gather_f64[s].lock()[0];
         }
-        self.barrier();
-        sum
+        self.barrier()?;
+        Ok(sum)
     }
 
     /// Reduce-scatter (sum): after the call, this rank holds the fully
@@ -495,12 +652,15 @@ impl Rank {
     /// place (other regions hold partial sums and must be treated as
     /// scratch). This is the first phase of the ring ALLREDUCE exposed on
     /// its own, the building block of hierarchical schedules.
-    pub fn reduce_scatter_sum(&self, data: &mut [f32]) -> std::ops::Range<usize> {
+    pub fn reduce_scatter_sum(
+        &self,
+        data: &mut [f32],
+    ) -> Result<std::ops::Range<usize>, CommError> {
         let g = self.core.world;
         let n = data.len();
         let r = self.rank;
         if g == 1 {
-            return 0..n;
+            return Ok(0..n);
         }
         let next = (r + 1) % g;
         for s in 0..g - 1 {
@@ -512,7 +672,7 @@ impl Rank {
                 mb.extend_from_slice(&data[range.clone()]);
             }
             self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier();
+            self.barrier()?;
             let recv_chunk = (r + g - s - 1) % g;
             let rr = chunk_range(n, g, recv_chunk);
             {
@@ -521,9 +681,9 @@ impl Rank {
                     *d += m;
                 }
             }
-            self.barrier();
+            self.barrier()?;
         }
-        chunk_range(n, g, (r + 1) % g)
+        Ok(chunk_range(n, g, (r + 1) % g))
     }
 
     /// Hierarchical ALLREDUCE for a cluster of `gpus_per_node`-GPU nodes:
@@ -536,12 +696,15 @@ impl Rank {
     /// Node `i` owns ranks `[i·gpus_per_node, (i+1)·gpus_per_node)`;
     /// groups whose size is not a multiple of `gpus_per_node` get a
     /// smaller last node.
-    pub fn all_reduce_sum_hierarchical(&self, data: &mut [f32], gpus_per_node: usize) {
+    pub fn all_reduce_sum_hierarchical(
+        &self,
+        data: &mut [f32],
+        gpus_per_node: usize,
+    ) -> Result<(), CommError> {
         assert!(gpus_per_node >= 1, "need at least one GPU per node");
         let g = self.core.world;
         if g <= gpus_per_node {
-            self.all_reduce_sum(data);
-            return;
+            return self.all_reduce_sum(data);
         }
         let r = self.rank;
         let node = r / gpus_per_node;
@@ -558,7 +721,7 @@ impl Rank {
         if r != leader {
             self.core.traffic.record_allreduce((data.len() * 4) as u64);
         }
-        self.barrier();
+        self.barrier()?;
         if r == leader {
             for member in leader + 1..node_end {
                 let slot = self.core.gather_f32[member].lock();
@@ -567,7 +730,7 @@ impl Rank {
                 }
             }
         }
-        self.barrier();
+        self.barrier()?;
 
         // Phase 2: leaders ring-reduce among themselves through the
         // leader-indexed mailboxes. Non-leaders just keep the barriers.
@@ -583,7 +746,7 @@ impl Rank {
                 mb.extend_from_slice(&data[range.clone()]);
                 self.core.traffic.record_allreduce((range.len() * 4) as u64);
             }
-            self.barrier();
+            self.barrier()?;
             if r == leader {
                 let recv_chunk = (node + n_nodes - s - 1) % n_nodes;
                 let rr = chunk_range(n, n_nodes, recv_chunk);
@@ -592,7 +755,7 @@ impl Rank {
                     *d += m;
                 }
             }
-            self.barrier();
+            self.barrier()?;
         }
         for s in 0..n_nodes - 1 {
             if r == leader {
@@ -604,14 +767,14 @@ impl Rank {
                 mb.extend_from_slice(&data[range.clone()]);
                 self.core.traffic.record_allreduce((range.len() * 4) as u64);
             }
-            self.barrier();
+            self.barrier()?;
             if r == leader {
                 let recv_chunk = (node + n_nodes - s) % n_nodes;
                 let rr = chunk_range(n, n_nodes, recv_chunk);
                 let mb = self.core.mailbox_f32[r].lock();
                 data[rr].copy_from_slice(&mb);
             }
-            self.barrier();
+            self.barrier()?;
         }
 
         // Phase 3: node-local broadcast from the leader.
@@ -623,16 +786,16 @@ impl Rank {
                 .traffic
                 .record_allreduce((data.len() * (node_end - leader - 1) * 4) as u64);
         }
-        self.barrier();
+        self.barrier()?;
         if r != leader {
             let slot = self.core.gather_f32[leader].lock();
             data.copy_from_slice(&slot);
         }
-        self.barrier();
+        self.barrier()
     }
 
     /// Broadcasts `data` from `root` to all ranks.
-    pub fn broadcast_f32(&self, data: &mut Vec<f32>, root: usize) {
+    pub fn broadcast_f32(&self, data: &mut Vec<f32>, root: usize) -> Result<(), CommError> {
         assert!(root < self.core.world, "root out of range");
         if self.rank == 0 {
             self.core.traffic.count_broadcast_op();
@@ -646,13 +809,41 @@ impl Rank {
                 .traffic
                 .record_broadcast((data.len() * 4 * (g - 1)) as u64);
         }
-        self.barrier();
+        self.barrier()?;
         if self.rank != root {
             let slot = self.core.gather_f32[root].lock();
             data.clear();
             data.extend_from_slice(&slot);
         }
-        self.barrier();
+        self.barrier()
+    }
+}
+
+/// RAII group-poisoning guard returned by [`Rank::abort_on_drop`].
+///
+/// While armed, dropping the guard aborts the whole group with the
+/// configured reason — exactly what must happen when a rank unwinds (an
+/// `?` early return, a panic) between collectives, because its peers
+/// would otherwise block forever at their next barrier. Call
+/// [`AbortOnDrop::disarm`] on the success path.
+pub struct AbortOnDrop<'a> {
+    rank: &'a Rank,
+    reason: String,
+    armed: bool,
+}
+
+impl AbortOnDrop<'_> {
+    /// Defuses the guard: dropping it no longer aborts the group.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for AbortOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.rank.abort(std::mem::take(&mut self.reason));
+        }
     }
 }
 
@@ -694,7 +885,7 @@ mod tests {
             let results = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i + r * 100) as f32).collect();
-                rank.all_reduce_sum(&mut data);
+                rank.all_reduce_sum(&mut data).unwrap();
                 data
             });
             let expected: Vec<f32> = (0..n)
@@ -713,7 +904,7 @@ mod tests {
         let results = run_group(5, |rank| {
             let r = rank.rank();
             let mut data: Vec<f32> = (0..23).map(|i| (i as f32 * 0.37) + r as f32).collect();
-            rank.all_reduce_sum(&mut data);
+            rank.all_reduce_sum(&mut data).unwrap();
             data
         });
         for r in 1..5 {
@@ -726,7 +917,7 @@ mod tests {
         // n < G exercises empty chunks.
         let results = run_group(8, |rank| {
             let mut data = vec![rank.rank() as f32; 3];
-            rank.all_reduce_sum(&mut data);
+            rank.all_reduce_sum(&mut data).unwrap();
             data
         });
         let expected = (0..8).sum::<usize>() as f32;
@@ -742,7 +933,7 @@ mod tests {
         let results = run_group(world, |rank| {
             let r = rank.rank();
             let mut data: Vec<f32> = (0..n).map(|i| 0.01 * (i as f32 + r as f32)).collect();
-            rank.all_reduce_sum_f16(&mut data, 512.0);
+            rank.all_reduce_sum_f16(&mut data, 512.0).unwrap();
             data
         });
         let expected: Vec<f32> = (0..n)
@@ -764,7 +955,7 @@ mod tests {
         let results = run_group(4, |rank| {
             let r = rank.rank() as u32;
             let local: Vec<u32> = (0..=r).map(|i| r * 10 + i).collect(); // size r+1
-            rank.all_gather_u32(&local)
+            rank.all_gather_u32(&local).unwrap()
         });
         let expected = vec![0u32, 10, 11, 20, 21, 22, 30, 31, 32, 33];
         for res in &results {
@@ -776,7 +967,7 @@ mod tests {
     fn all_gather_f32_baseline() {
         let results = run_group(3, |rank| {
             let local = vec![rank.rank() as f32; 2];
-            rank.all_gather_f32(&local)
+            rank.all_gather_f32(&local).unwrap()
         });
         for res in &results {
             assert_eq!(res, &vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
@@ -787,7 +978,7 @@ mod tests {
     fn all_gather_f16_compresses_but_preserves_values() {
         let results = run_group(2, |rank| {
             let local = vec![0.5 + rank.rank() as f32, -0.25];
-            rank.all_gather_f16(&local, 256.0)
+            rank.all_gather_f16(&local, 256.0).unwrap()
         });
         for res in &results {
             assert!((res[0] - 0.5).abs() < 1e-3);
@@ -800,6 +991,7 @@ mod tests {
     fn scalar_reduce_deterministic() {
         let results = run_group(6, |rank| {
             rank.all_reduce_scalar_f64(rank.rank() as f64 + 0.5)
+                .unwrap()
         });
         for res in &results {
             assert_eq!(*res, 18.0); // 0.5+1.5+...+5.5
@@ -814,7 +1006,7 @@ mod tests {
             } else {
                 vec![]
             };
-            rank.broadcast_f32(&mut data, 2);
+            rank.broadcast_f32(&mut data, 2).unwrap();
             data
         });
         for res in &results {
@@ -828,8 +1020,8 @@ mod tests {
         let n = 100usize;
         let results = run_group(world, |rank| {
             let mut data = vec![1.0f32; n];
-            rank.reset_traffic();
-            rank.all_reduce_sum(&mut data);
+            rank.reset_traffic().unwrap();
+            rank.all_reduce_sum(&mut data).unwrap();
             rank.traffic()
         });
         // Ring: each rank sends 2(G−1) chunks of ~n/G floats.
@@ -848,12 +1040,12 @@ mod tests {
         let n = 128usize; // divisible by world so chunks are even
         let f32_bytes = run_group(world, |rank| {
             let mut data = vec![1.0f32; n];
-            rank.all_reduce_sum(&mut data);
+            rank.all_reduce_sum(&mut data).unwrap();
             rank.traffic().allreduce_bytes
         })[0];
         let f16_bytes = run_group(world, |rank| {
             let mut data = vec![1.0f32; n];
-            rank.all_reduce_sum_f16(&mut data, 512.0);
+            rank.all_reduce_sum_f16(&mut data, 512.0).unwrap();
             rank.traffic().allreduce_bytes
         })[0];
         assert_eq!(f16_bytes * 2, f32_bytes);
@@ -865,8 +1057,8 @@ mod tests {
             let mut acc = 0.0f64;
             for i in 0..50 {
                 let mut v = vec![i as f32; 8];
-                rank.all_reduce_sum(&mut v);
-                let g = rank.all_gather_u32(&[rank.rank() as u32]);
+                rank.all_reduce_sum(&mut v).unwrap();
+                let g = rank.all_gather_u32(&[rank.rank() as u32]).unwrap();
                 acc += v[0] as f64 + g.len() as f64;
             }
             acc
@@ -883,7 +1075,7 @@ mod tests {
             let results = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i * (r + 1)) as f32).collect();
-                let owned = rank.reduce_scatter_sum(&mut data);
+                let owned = rank.reduce_scatter_sum(&mut data).unwrap();
                 (owned, data)
             });
             let sum_factor: f32 = (1..=world).map(|x| x as f32).sum();
@@ -912,13 +1104,14 @@ mod tests {
             let flat = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i + r * 10) as f32 * 0.5).collect();
-                rank.all_reduce_sum(&mut data);
+                rank.all_reduce_sum(&mut data).unwrap();
                 data
             });
             let hier = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i + r * 10) as f32 * 0.5).collect();
-                rank.all_reduce_sum_hierarchical(&mut data, per_node);
+                rank.all_reduce_sum_hierarchical(&mut data, per_node)
+                    .unwrap();
                 data
             });
             for (w, h) in hier.iter().enumerate() {
@@ -940,12 +1133,12 @@ mod tests {
         let n = 4096usize;
         let flat = run_group(8, |rank| {
             let mut data = vec![1.0f32; n];
-            rank.all_reduce_sum(&mut data);
+            rank.all_reduce_sum(&mut data).unwrap();
             rank.traffic().allreduce_bytes
         })[0];
         let hier = run_group(8, |rank| {
             let mut data = vec![1.0f32; n];
-            rank.all_reduce_sum_hierarchical(&mut data, 4);
+            rank.all_reduce_sum_hierarchical(&mut data, 4).unwrap();
             rank.traffic().allreduce_bytes
         })[0];
         // Both are Θ(G·n); the point is correctness of accounting, and
@@ -977,9 +1170,9 @@ mod tests {
         for world in [1usize, 2, 5] {
             let results = run_group(world, |rank| {
                 let mut data: Vec<f32> = Vec::new();
-                rank.all_reduce_sum(&mut data);
+                rank.all_reduce_sum(&mut data).unwrap();
                 let mut data16: Vec<f32> = Vec::new();
-                rank.all_reduce_sum_f16(&mut data16, 512.0);
+                rank.all_reduce_sum_f16(&mut data16, 512.0).unwrap();
                 (data.len(), data16.len())
             });
             for r in &results {
@@ -994,7 +1187,7 @@ mod tests {
         let world = 8;
         let results = run_group(world, |rank| {
             let mut data = vec![rank.rank() as f32; 3];
-            rank.all_reduce_sum_f16(&mut data, 256.0);
+            rank.all_reduce_sum_f16(&mut data, 256.0).unwrap();
             data
         });
         let expected = (0..8).sum::<usize>() as f32;
@@ -1017,7 +1210,7 @@ mod tests {
             let exact = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i + r) as f32).collect();
-                rank.all_reduce_sum(&mut data);
+                rank.all_reduce_sum(&mut data).unwrap();
                 data
             });
             let expected: Vec<f32> = (0..n)
@@ -1031,7 +1224,7 @@ mod tests {
             let compressed = run_group(world, |rank| {
                 let r = rank.rank();
                 let mut data: Vec<f32> = (0..n).map(|i| (i + r) as f32).collect();
-                rank.all_reduce_sum_f16(&mut data, 16.0);
+                rank.all_reduce_sum_f16(&mut data, 16.0).unwrap();
                 data
             });
             for res in &compressed {
@@ -1054,9 +1247,9 @@ mod tests {
         // (the `equivalence_with_empty_contributions` scenario at the
         // comm layer).
         let all_empty = run_group(3, |rank| {
-            let u = rank.all_gather_u32(&[]);
-            let f = rank.all_gather_f32(&[]);
-            let h = rank.all_gather_f16(&[], 512.0);
+            let u = rank.all_gather_u32(&[]).unwrap();
+            let f = rank.all_gather_f32(&[]).unwrap();
+            let h = rank.all_gather_f16(&[], 512.0).unwrap();
             (u.len(), f.len(), h.len())
         });
         for r in &all_empty {
@@ -1069,7 +1262,7 @@ mod tests {
             } else {
                 vec![rank.rank() as u32 * 10]
             };
-            rank.all_gather_u32(&local)
+            rank.all_gather_u32(&local).unwrap()
         });
         for res in &mixed {
             assert_eq!(res, &vec![0u32, 20]);
@@ -1087,19 +1280,19 @@ mod tests {
             let mut h = Vec::new();
             // Repeated calls into the same buffers must not grow past
             // the first call's capacity (zero steady-state allocation).
-            rank.all_gather_u32_into(&local, &mut u);
-            rank.all_gather_f32_into(&rows, &mut f);
-            rank.all_gather_f16_into(&rows, 512.0, &mut h);
+            rank.all_gather_u32_into(&local, &mut u).unwrap();
+            rank.all_gather_f32_into(&rows, &mut f).unwrap();
+            rank.all_gather_f16_into(&rows, 512.0, &mut h).unwrap();
             let (cu, cf, ch) = (u.capacity(), f.capacity(), h.capacity());
             for _ in 0..5 {
-                rank.all_gather_u32_into(&local, &mut u);
-                rank.all_gather_f32_into(&rows, &mut f);
-                rank.all_gather_f16_into(&rows, 512.0, &mut h);
+                rank.all_gather_u32_into(&local, &mut u).unwrap();
+                rank.all_gather_f32_into(&rows, &mut f).unwrap();
+                rank.all_gather_f16_into(&rows, 512.0, &mut h).unwrap();
             }
             assert_eq!(u.capacity(), cu);
             assert_eq!(f.capacity(), cf);
             assert_eq!(h.capacity(), ch);
-            (u.clone(), rank.all_gather_u32(&local), f, h)
+            (u.clone(), rank.all_gather_u32(&local).unwrap(), f, h)
         });
         for (into_u, ret_u, f, h) in &results {
             assert_eq!(into_u, ret_u, "into/returning variants disagree");
@@ -1125,12 +1318,12 @@ mod tests {
         ] {
             for &elem in &[4u64, 2] {
                 let measured = run_group(world, |rank| {
-                    rank.reset_traffic();
+                    rank.reset_traffic().unwrap();
                     let mut data = vec![1.0f32; n];
                     if elem == 4 {
-                        rank.all_reduce_sum(&mut data);
+                        rank.all_reduce_sum(&mut data).unwrap();
                     } else {
-                        rank.all_reduce_sum_f16(&mut data, 512.0);
+                        rank.all_reduce_sum_f16(&mut data, 512.0).unwrap();
                     }
                     rank.traffic().allreduce_bytes
                 })[0];
@@ -1142,6 +1335,134 @@ mod tests {
                     "world {world} n {n} elem {elem}: analytic {analytic} vs measured {measured}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn abort_wakes_blocked_barrier_waiters_with_failed_rank() {
+        let results = run_group(3, |rank| {
+            if rank.rank() == 2 {
+                rank.abort("simulated failure");
+                Ok(())
+            } else {
+                rank.barrier()
+            }
+        });
+        for (r, res) in results.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(*res, Ok(()));
+            } else {
+                let err = res.clone().unwrap_err();
+                assert_eq!(err.failed_rank, 2);
+                assert_eq!(err.reason, "simulated failure");
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_error_after_peer_abort() {
+        let results = run_group(4, |rank| {
+            if rank.rank() == 1 {
+                rank.abort("rank 1 died");
+                return Vec::new();
+            }
+            let mut errs = Vec::new();
+            let mut data = vec![1.0f32; 8];
+            errs.push(rank.all_reduce_sum(&mut data).unwrap_err());
+            errs.push(rank.all_gather_u32(&[7]).unwrap_err());
+            errs.push(rank.all_reduce_scalar_f64(1.0).unwrap_err());
+            errs.push(rank.barrier().unwrap_err());
+            errs
+        });
+        for (r, errs) in results.iter().enumerate() {
+            if r == 1 {
+                continue;
+            }
+            assert_eq!(errs.len(), 4);
+            for e in errs {
+                assert_eq!(e.failed_rank, 1, "rank {r} misattributed: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn abort_on_drop_poisons_group_on_early_return() {
+        let results = run_group(2, |rank| {
+            if rank.rank() == 0 {
+                let _guard = rank.abort_on_drop("rank 0 unwound");
+                // Early return drops the armed guard, as a `?` would.
+                return Ok(());
+            }
+            rank.barrier()
+        });
+        assert_eq!(results[0], Ok(()));
+        let err = results[1].clone().unwrap_err();
+        assert_eq!(err.failed_rank, 0);
+        assert_eq!(err.reason, "rank 0 unwound");
+    }
+
+    #[test]
+    fn disarmed_guard_does_not_poison_group() {
+        let results = run_group(3, |rank| {
+            let guard = rank.abort_on_drop("should never fire");
+            let mut data = vec![rank.rank() as f32; 4];
+            let res = rank.all_reduce_sum(&mut data);
+            guard.disarm();
+            res
+        });
+        for res in results {
+            assert_eq!(res, Ok(()));
+        }
+    }
+
+    #[test]
+    fn first_failure_wins_attribution() {
+        let results = run_group(3, |rank| match rank.rank() {
+            0 => {
+                rank.abort("root cause");
+                rank.check_abort()
+            }
+            1 => {
+                // Deterministically lose the race: only abort after
+                // rank 0's poison is already visible.
+                while rank.check_abort().is_ok() {
+                    std::thread::yield_now();
+                }
+                rank.abort("echo failure");
+                rank.check_abort()
+            }
+            _ => {
+                while rank.check_abort().is_ok() {
+                    std::thread::yield_now();
+                }
+                rank.check_abort()
+            }
+        });
+        for res in results {
+            let err = res.unwrap_err();
+            assert_eq!(err.failed_rank, 0);
+            assert_eq!(err.reason, "root cause");
+        }
+    }
+
+    #[test]
+    fn poisoned_group_stays_poisoned() {
+        let results = run_group(2, |rank| {
+            if rank.rank() == 0 {
+                rank.abort("permanent");
+            } else {
+                while rank.check_abort().is_ok() {
+                    std::thread::yield_now();
+                }
+            }
+            // Every subsequent collective fails immediately.
+            let a = rank.barrier().unwrap_err();
+            let b = rank.all_gather_f32(&[1.0]).unwrap_err();
+            (a, b)
+        });
+        for (a, b) in results {
+            assert_eq!(a.failed_rank, 0);
+            assert_eq!(b, a);
         }
     }
 }

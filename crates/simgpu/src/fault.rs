@@ -1,0 +1,135 @@
+//! Fault-injection plans for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes, per rank, the failures a run must survive
+//! *with a typed error rather than a hang*: a rank that dies at a given
+//! step, a straggler that sleeps before every collective round, or an
+//! asymmetric per-rank memory limit. The plan itself is inert data —
+//! the trainer consults it at the top of each step and before device
+//! allocations, and converts a triggered fault into [`crate::CommError`]
+//! propagation via [`crate::Rank::abort`].
+//!
+//! Keeping the plan in `simgpu` (not the trainer crate) matches the
+//! layering: faults are a property of the simulated hardware/fabric,
+//! and any future consumer of the communicator gets the same knobs.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Declarative description of injected faults, keyed by rank.
+///
+/// Construct with [`FaultPlan::none`] and the builder methods:
+///
+/// ```
+/// use simgpu::FaultPlan;
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::none()
+///     .kill_rank(2, 5) // rank 2 dies at the start of step 5
+///     .straggle(1, Duration::from_millis(2))
+///     .limit_rank_memory(3, 64 * 1024);
+/// assert!(plan.should_die(2, 5));
+/// assert!(!plan.should_die(2, 4));
+/// assert_eq!(plan.mem_limit(3), Some(64 * 1024));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// rank → first step index at which the rank dies (inclusive).
+    kills: BTreeMap<usize, usize>,
+    /// rank → artificial delay injected at the top of every step.
+    stragglers: BTreeMap<usize, Duration>,
+    /// rank → device capacity override in bytes.
+    mem_limits: BTreeMap<usize, u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing. Running under `FaultPlan::none()`
+    /// is behaviourally identical to not having a plan at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects no fault on any rank.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.stragglers.is_empty() && self.mem_limits.is_empty()
+    }
+
+    /// Kill `rank` at the start of global step `step` (0-based). The
+    /// rank stops participating in collectives from that step onward,
+    /// poisoning the group so peers observe the failure.
+    pub fn kill_rank(mut self, rank: usize, step: usize) -> Self {
+        self.kills.insert(rank, step);
+        self
+    }
+
+    /// Make `rank` sleep for `delay` at the top of every step —
+    /// exercises the bounded-time guarantee under skew without killing
+    /// anyone.
+    pub fn straggle(mut self, rank: usize, delay: Duration) -> Self {
+        self.stragglers.insert(rank, delay);
+        self
+    }
+
+    /// Cap `rank`'s device memory at `bytes`, overriding the uniform
+    /// per-GPU budget. Asymmetric limits are the canonical way to force
+    /// a *one-sided* OOM, which must surface as an error on every rank.
+    pub fn limit_rank_memory(mut self, rank: usize, bytes: u64) -> Self {
+        self.mem_limits.insert(rank, bytes);
+        self
+    }
+
+    /// Whether `rank` is scheduled to die at or before `step`.
+    pub fn should_die(&self, rank: usize, step: usize) -> bool {
+        self.kills.get(&rank).is_some_and(|&k| step >= k)
+    }
+
+    /// The straggler delay for `rank`, if any.
+    pub fn straggler_delay(&self, rank: usize) -> Option<Duration> {
+        self.stragglers.get(&rank).copied()
+    }
+
+    /// The memory-capacity override for `rank`, if any.
+    pub fn mem_limit(&self, rank: usize) -> Option<u64> {
+        self.mem_limits.get(&rank).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for rank in 0..8 {
+            assert!(!plan.should_die(rank, 0));
+            assert!(!plan.should_die(rank, 1000));
+            assert_eq!(plan.straggler_delay(rank), None);
+            assert_eq!(plan.mem_limit(rank), None);
+        }
+    }
+
+    #[test]
+    fn kill_triggers_at_and_after_step() {
+        let plan = FaultPlan::none().kill_rank(2, 5);
+        assert!(!plan.is_empty());
+        assert!(!plan.should_die(2, 0));
+        assert!(!plan.should_die(2, 4));
+        assert!(plan.should_die(2, 5));
+        assert!(plan.should_die(2, 99));
+        assert!(!plan.should_die(1, 99), "other ranks unaffected");
+    }
+
+    #[test]
+    fn builders_compose_per_rank() {
+        let plan = FaultPlan::none()
+            .kill_rank(0, 1)
+            .straggle(1, Duration::from_millis(3))
+            .limit_rank_memory(2, 4096)
+            .limit_rank_memory(2, 8192); // later call overrides
+        assert_eq!(plan.straggler_delay(1), Some(Duration::from_millis(3)));
+        assert_eq!(plan.mem_limit(2), Some(8192));
+        assert!(plan.should_die(0, 1));
+        assert_eq!(plan.mem_limit(0), None);
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`traffic::TrafficRecorder`] — counts every byte a collective moves,
 //!   so experiments can assert the paper's Θ(G·K·D) vs Θ(G·K + Ug·D)
 //!   communication claims on measured data.
+//! * [`fault::FaultPlan`] — declarative fault injection (rank death at
+//!   step N, stragglers, asymmetric per-rank memory limits); together
+//!   with the communicator's abort flag it turns "one rank failed" into
+//!   a typed [`comm::CommError`] on every peer instead of a deadlock.
 //! * [`hw::HardwareConfig`] — Table II hardware presets (Titan X cluster;
 //!   the V100/NVLink system of §V-D).
 //! * [`cost`] — the α–β (latency–bandwidth) model translating byte
@@ -28,13 +32,18 @@
 pub mod comm;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod hw;
 pub mod timing;
 pub mod traffic;
 
-pub use comm::{f16_bits_to_f32, f32_to_f16_bits, ring_allreduce_send_bytes, CommGroup, Rank};
+pub use comm::{
+    f16_bits_to_f32, f32_to_f16_bits, ring_allreduce_send_bytes, AbortOnDrop, CommError, CommGroup,
+    Rank,
+};
 pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};
+pub use fault::FaultPlan;
 pub use hw::HardwareConfig;
 pub use timing::PhaseTimer;
 pub use traffic::{TrafficRecorder, TrafficSnapshot};

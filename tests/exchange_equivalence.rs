@@ -46,7 +46,7 @@ fn apply(world: usize, grads: Vec<SparseGrad>, cfg: ExchangeConfig) -> Matrix {
     let results = run_group(world, move |rank| {
         let mut t = table();
         let g = grads[rank.rank()].clone();
-        exchange_and_apply(&rank, &g, &mut t, 0.05, &cfg);
+        exchange_and_apply(&rank, &g, &mut t, 0.05, &cfg).expect("no fault injected");
         t.weights().clone()
     });
     // All replicas must already agree (checked here so every scenario

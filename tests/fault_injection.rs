@@ -1,0 +1,144 @@
+//! Fault injection against the trainer: a rank that dies (or OOMs on an
+//! asymmetric memory limit) must surface as `TrainError::PeerFailure`
+//! on every surviving rank within bounded time — the deadlock class
+//! these tests guard against used to hang the whole group forever.
+//!
+//! Every scenario that *would* deadlock on regression runs under a
+//! watchdog: the test body executes on a detached thread and the test
+//! fails in seconds via `recv_timeout` if the trainer never returns
+//! (the stuck thread is leaked rather than blocking the harness).
+
+use simgpu::FaultPlan;
+use std::sync::mpsc;
+use std::time::Duration;
+use zipf_lm::{train, train_with_faults, Method, ModelKind, TrainConfig, TrainError};
+
+/// Generous bound: the whole suite's fault runs finish in well under a
+/// second; a deadlock regression would otherwise hang CI forever.
+const WATCHDOG_SECS: u64 = 60;
+
+/// Unconstrained device capacity (mirrors the trainer's own default).
+const UNLIMITED: u64 = u64::MAX / 4;
+
+fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    // Deliberately not scoped: if `f` deadlocks, the thread is leaked
+    // and the test fails fast instead of blocking `cargo test`.
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(WATCHDOG_SECS))
+        .expect("watchdog expired: trainer deadlocked instead of propagating the fault")
+}
+
+fn cfg(gpus: usize) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Word { vocab: 200 },
+        gpus,
+        batch: 2,
+        seq_len: 6,
+        steps_per_epoch: 6,
+        epochs: 1,
+        base_lr: 0.3,
+        lr_decay: 0.95,
+        method: Method::unique(),
+        seed: 7,
+        tokens: 30_000,
+    }
+}
+
+#[test]
+fn killed_rank_mid_epoch_fails_every_survivor_within_watchdog() {
+    // The acceptance scenario: rank 2 of 4 dies at step 2 of 6.
+    let results = with_watchdog(|| {
+        let plan = FaultPlan::none().kill_rank(2, 2);
+        train_with_faults(&cfg(4), UNLIMITED, &plan)
+    });
+    assert_eq!(results.len(), 4);
+    for (r, res) in results.iter().enumerate() {
+        match res {
+            Err(TrainError::PeerFailure { rank, reason }) => {
+                assert_eq!(*rank, 2, "rank {r} misattributed the failure: {reason}");
+                assert!(
+                    reason.contains("killed by fault plan"),
+                    "rank {r} reason: {reason}"
+                );
+            }
+            other => panic!("rank {r} must report PeerFailure, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn asymmetric_memory_limit_errors_on_all_ranks() {
+    // Only rank 1 is constrained — under the old symmetric-OOM
+    // assumption the other three ranks would deadlock in their first
+    // collective. The constrained rank reports its own OOM; everyone
+    // else a PeerFailure naming it.
+    let results = with_watchdog(|| {
+        let plan = FaultPlan::none().limit_rank_memory(1, 10_000);
+        train_with_faults(&cfg(4), UNLIMITED, &plan)
+    });
+    for (r, res) in results.iter().enumerate() {
+        match res {
+            Err(TrainError::Oom(e)) => {
+                assert_eq!(r, 1, "only rank 1 is memory-constrained");
+                assert_eq!(e.device, 1);
+            }
+            Err(TrainError::PeerFailure { rank, .. }) => {
+                assert_ne!(r, 1);
+                assert_eq!(*rank, 1, "rank {r} misattributed the OOM");
+            }
+            other => panic!("rank {r} must fail on the peer OOM, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn straggler_delay_changes_nothing_but_wall_time() {
+    // A straggler exercises skewed barrier arrival on every step; the
+    // run must still complete with results identical to the fault-free
+    // one (the delay is wall-clock only — simulated time is modelled).
+    let (clean, slow) = with_watchdog(|| {
+        let clean = train_with_faults(&cfg(2), UNLIMITED, &FaultPlan::none());
+        let plan = FaultPlan::none().straggle(1, Duration::from_millis(2));
+        let slow = train_with_faults(&cfg(2), UNLIMITED, &plan);
+        (clean, slow)
+    });
+    let clean0 = clean[0].as_ref().expect("fault-free run succeeds");
+    let slow0 = slow[0].as_ref().expect("straggler run succeeds");
+    assert_eq!(clean0.epochs[0].train_loss, slow0.epochs[0].train_loss);
+    assert_eq!(clean0.final_ppl(), slow0.final_ppl());
+    assert!(slow[1].is_ok());
+}
+
+#[test]
+fn empty_fault_plan_matches_plain_train() {
+    // `train` routes through the fault machinery with an empty plan;
+    // both entry points must agree exactly.
+    let c = cfg(2);
+    let via_faults = with_watchdog({
+        let c = c.clone();
+        move || train_with_faults(&c, UNLIMITED, &FaultPlan::none())
+    });
+    let plain = train(&c).expect("plain train succeeds");
+    let rank0 = via_faults[0].as_ref().expect("rank 0 succeeds");
+    assert_eq!(rank0.epochs[0].train_loss, plain.epochs[0].train_loss);
+    assert_eq!(rank0.final_ppl(), plain.final_ppl());
+    assert!(via_faults[1].is_ok());
+}
+
+#[test]
+fn kill_at_step_zero_fails_before_any_progress() {
+    // Degenerate corner: the rank dies before its first collective.
+    let results = with_watchdog(|| {
+        let plan = FaultPlan::none().kill_rank(0, 0);
+        train_with_faults(&cfg(3), UNLIMITED, &plan)
+    });
+    for res in &results {
+        match res {
+            Err(TrainError::PeerFailure { rank, .. }) => assert_eq!(*rank, 0),
+            other => panic!("expected PeerFailure, got {other:?}"),
+        }
+    }
+}

@@ -52,7 +52,7 @@ fn simgpu_and_tensor_f16_agree() {
                     } else {
                         vec![0.0; values.len()]
                     };
-                    rank.all_reduce_sum_f16(&mut data, 1.0);
+                    rank.all_reduce_sum_f16(&mut data, 1.0).unwrap();
                     data
                 })
             })

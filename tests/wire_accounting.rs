@@ -57,9 +57,10 @@ fn measure(
                 .collect(),
         );
         let grad = SparseGrad { indices, rows };
-        rank.reset_traffic();
-        let stats = exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg);
-        rank.barrier(); // all sends recorded before the snapshot
+        rank.reset_traffic().unwrap();
+        let stats =
+            exchange_and_apply(&rank, &grad, &mut table, 0.1, &cfg).expect("no fault injected");
+        rank.barrier().unwrap(); // all sends recorded before the snapshot
         (stats, rank.traffic())
     });
     let traffic = results[0].1;
@@ -136,5 +137,86 @@ fn compression_halves_exactly_the_row_terms() {
     let index_term = (16 * 4 * (world - 1)) as u64;
     for (f, c) in full.iter().zip(&comp) {
         assert_eq!((c.wire_bytes - index_term) * 2, f.wire_bytes - index_term);
+    }
+}
+
+/// The dense-gradient path: analytic per-rank ring bytes
+/// (`simgpu::ring_allreduce_send_bytes`) summed over ranks must equal
+/// the recorder exactly — FP32 and FP16, divisible and non-divisible
+/// `n`, including the `n < G` degenerate chunks.
+#[test]
+fn dense_allreduce_analytic_matches_recorded_exactly() {
+    for world in [2usize, 3, 5, 8] {
+        for n in [0usize, 4, 12, 13, 257] {
+            for &elem in &[4u64, 2] {
+                let measured = run_group(world, |rank| {
+                    rank.reset_traffic().unwrap();
+                    let mut data = vec![rank.rank() as f32; n];
+                    if elem == 4 {
+                        rank.all_reduce_sum(&mut data).unwrap();
+                    } else {
+                        rank.all_reduce_sum_f16(&mut data, 512.0).unwrap();
+                    }
+                    rank.barrier().unwrap();
+                    rank.traffic().allreduce_bytes
+                })[0];
+                let analytic: u64 = (0..world)
+                    .map(|r| simgpu::ring_allreduce_send_bytes(n, world, r, elem))
+                    .sum();
+                assert_eq!(
+                    analytic, measured,
+                    "world {world} n {n} elem {elem}: analytic {analytic} vs measured {measured}"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end cross-check: `TrainReport::mean_step_bytes` (built from
+/// per-step `dense_bytes` + exchange `wire_bytes`) must reconcile with
+/// the group-global traffic recorder *exactly*. G = 2 keeps every
+/// rank's ring share identical even for non-divisible payloads, so
+/// rank 0's per-step attribution × G covers all dense + exchange
+/// bytes; the only recorded traffic it does not attribute is the
+/// per-step scalar loss ALLREDUCE (8·(G−1) bytes per rank per step).
+#[test]
+fn mean_step_bytes_reconciles_with_traffic_recorder() {
+    use zipf_lm::{train, Method, ModelKind, TrainConfig};
+    for method in [Method::baseline(), Method::unique()] {
+        let cfg = TrainConfig {
+            model: ModelKind::Word { vocab: 150 },
+            gpus: 2,
+            batch: 2,
+            seq_len: 5,
+            steps_per_epoch: 5,
+            epochs: 1,
+            base_lr: 0.3,
+            lr_decay: 0.95,
+            method,
+            seed: 13,
+            tokens: 30_000,
+        };
+        let rep = train(&cfg).expect("train");
+        let g = cfg.gpus as u64;
+        let steps = rep.steps.len() as u64;
+        assert_eq!(steps, 5);
+        let attributed: u64 = rep
+            .steps
+            .iter()
+            .map(|s| {
+                s.dense_bytes
+                    + s.input_exchange.wire_bytes
+                    + s.output_exchange.map(|e| e.wire_bytes).unwrap_or(0)
+            })
+            .sum();
+        let loss_reduce = steps * g * (g - 1) * 8;
+        assert_eq!(
+            attributed * g + loss_reduce,
+            rep.traffic.total_bytes(),
+            "method {method:?}"
+        );
+        // And the derived mean is the same totals divided by steps.
+        let mean = rep.mean_step_bytes();
+        assert!((mean - attributed as f64 / steps as f64).abs() < 1e-9);
     }
 }
