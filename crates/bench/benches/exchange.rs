@@ -25,7 +25,8 @@ use std::time::{Duration, Instant};
 use tensor::Matrix;
 use zipf::ZipfMandelbrot;
 use zipf_lm::{
-    exchange_and_apply, exchange_and_apply_with, ExchangeConfig, ExchangeScratch, PhaseTimings,
+    exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
+    ExchangeScratch, PhaseTimings,
 };
 
 // Per-call shape (kept small: each iteration pays thread spawns).
@@ -152,6 +153,26 @@ fn seed_step(rank: &Rank, grad: &SparseGrad, table: &mut Embedding, _: &mut Exch
     seed_unique_exchange(rank, grad, table, 0.1);
 }
 
+/// The traced entry point with tracing *disabled* (`None` recorder) —
+/// the configuration the trainer uses whenever `TraceConfig::off()`.
+fn untraced_step(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    scratch: &mut ExchangeScratch,
+) {
+    exchange_and_apply_traced(
+        rank,
+        grad,
+        table,
+        0.1,
+        &ExchangeConfig::unique(),
+        scratch,
+        None,
+    )
+    .unwrap();
+}
+
 fn bench_exchange(c: &mut Criterion) {
     let mut group = c.benchmark_group("exchange");
     for world in [2usize, 4, 8] {
@@ -246,6 +267,32 @@ fn report_phase_timings(_c: &mut Criterion) {
     );
 }
 
+/// Guard for the tentpole's zero-overhead-when-off claim: the traced
+/// entry point with a `None` recorder must stay within noise of the
+/// plain pooled hot path. Interleaved min-of-3 like `report_speedup`;
+/// the 1.30× bound is loose against scheduler jitter on shared CI
+/// hardware — an accidental per-phase allocation or clock read in the
+/// `None` branch shows up far above it.
+fn report_trace_overhead(_c: &mut Criterion) {
+    const STEPS: u64 = 30;
+    let mut plain_total = Duration::ZERO;
+    let mut untraced_total = Duration::ZERO;
+    for _ in 0..3 {
+        plain_total += steady_state(SS_WORLD, STEPS / 3, pooled_step);
+        untraced_total += steady_state(SS_WORLD, STEPS / 3, untraced_step);
+    }
+    let ratio = untraced_total.as_secs_f64() / plain_total.as_secs_f64();
+    println!(
+        "exchange_steady/trace_overhead           plain {:.3} ms/step, traced-off {:.3} ms/step => {ratio:.2}x (bound < 1.30x)",
+        plain_total.as_secs_f64() * 1e3 / STEPS as f64,
+        untraced_total.as_secs_f64() * 1e3 / STEPS as f64,
+    );
+    assert!(
+        ratio < 1.30,
+        "tracing-disabled exchange is {ratio:.2}x the plain hot path (bound 1.30x)"
+    );
+}
+
 fn bench_local_reduce(c: &mut Criterion) {
     let grad = zipfian_grad(3, TOKENS, VOCAB, DIM);
     c.bench_function("local_reduce_zipfian_256tok", |b| {
@@ -259,6 +306,7 @@ criterion_group!(
     bench_steady_state,
     report_speedup,
     report_phase_timings,
+    report_trace_overhead,
     bench_local_reduce,
 );
 criterion_main!(benches);

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use zipf::{fit_power_law, heaps_curve_from_sampler, HeapsPoint, PowerLawFit};
 use zipf::{heaps::log_checkpoints, ZipfMandelbrot};
 use zipf_lm::seeding::SeedStrategy;
-use zipf_lm::{Method, ModelKind, TrainConfig, TrainReport};
+use zipf_lm::{Method, ModelKind, TraceConfig, TrainConfig, TrainReport};
 
 /// One dataset's type–token curve and its power-law fit (Figure 1).
 #[derive(Debug, Clone)]
@@ -125,6 +125,7 @@ fn accuracy_cfg(quick: bool) -> TrainConfig {
         method: Method::unique(),
         seed: 42,
         tokens: if quick { 80_000 } else { 240_000 },
+        trace: TraceConfig::off(),
     }
 }
 
@@ -221,6 +222,7 @@ pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
                 method: Method::full(),
                 seed: 1234, // fixed so the validation distribution matches
                 tokens: base_tokens * data_mult,
+                trace: TraceConfig::off(),
             };
             let report = zipf_lm::train(&cfg).expect("run");
             let ppl = report.final_ppl();
@@ -263,6 +265,7 @@ pub fn sota_comparison(quick: bool) -> SotaComparison {
         method: Method::full(),
         seed: 77,
         tokens: if quick { 60_000 } else { 300_000 },
+        trace: TraceConfig::off(),
     };
     let report = zipf_lm::train(&cfg).expect("run");
     let our_bpc = report.epochs.last().unwrap().valid_bpc;

@@ -172,6 +172,47 @@ impl Method {
     }
 }
 
+/// Opt-in per-rank structured tracing (see [`simgpu::trace`]).
+///
+/// Disabled by default. When off, the trainer allocates no recorder,
+/// [`simgpu::Rank`] skips barrier-wait timing, and the exchange hot
+/// path pays a single branch per phase — the
+/// `exchange_steady/trace_overhead` bench guards that this stays within
+/// measurement noise of the untraced baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record per-rank span events and attach a `TraceLog` to each
+    /// rank's `TrainReport`.
+    pub enabled: bool,
+    /// Ring-buffer capacity per rank: beyond this, the oldest events
+    /// are overwritten (counted in the log's `dropped`).
+    pub events_per_rank: usize,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            events_per_rank: 65_536,
+        }
+    }
+
+    /// Tracing enabled at the default ring capacity.
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Everything `train` needs.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -197,6 +238,8 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Synthetic corpus size in tokens.
     pub tokens: usize,
+    /// Per-rank structured tracing (off by default — zero overhead).
+    pub trace: TraceConfig,
 }
 
 impl Default for TrainConfig {
@@ -213,6 +256,7 @@ impl Default for TrainConfig {
             method: Method::unique(),
             seed: 42,
             tokens: 50_000,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -243,6 +287,15 @@ mod tests {
         assert_eq!(stack[2].1.seeding, SeedStrategy::ZipfFreq);
         assert!(stack[2].1.compression.is_none());
         assert!(stack[3].1.compression.is_some());
+    }
+
+    #[test]
+    fn trace_defaults_off() {
+        assert!(!TrainConfig::default().trace.enabled);
+        assert_eq!(TraceConfig::default(), TraceConfig::off());
+        let on = TraceConfig::on();
+        assert!(on.enabled);
+        assert_eq!(on.events_per_rank, TraceConfig::off().events_per_rank);
     }
 
     #[test]

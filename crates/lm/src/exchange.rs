@@ -37,7 +37,25 @@
 //! [`simgpu::Rank::abort`]-guarded step loop.
 
 use nn::{Embedding, SparseGrad};
-use simgpu::{CommError, PhaseTimer, Rank};
+use simgpu::{CommError, PhaseTimer, Rank, SpanKind, TraceRecorder};
+
+/// Timestamp helper for the optional recorder: zero-cost when `None`.
+#[inline]
+fn trace_now(trace: &Option<&mut TraceRecorder>) -> u64 {
+    match trace {
+        Some(t) => t.now_ns(),
+        None => 0,
+    }
+}
+
+/// Records `span` from `start_ns` to now, carrying `bytes`. No-op (a
+/// single branch) when tracing is off.
+#[inline]
+fn trace_rec(trace: &mut Option<&mut TraceRecorder>, span: SpanKind, start_ns: u64, bytes: u64) {
+    if let Some(t) = trace.as_mut() {
+        t.record_since(span, start_ns, bytes);
+    }
+}
 
 /// How to run an exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,10 +260,28 @@ pub fn exchange_and_apply_with(
     cfg: &ExchangeConfig,
     scratch: &mut ExchangeScratch,
 ) -> Result<ExchangeStats, CommError> {
+    exchange_and_apply_traced(rank, grad, table, lr, cfg, scratch, None)
+}
+
+/// [`exchange_and_apply_with`] recording a [`simgpu::trace::TraceEvent`]
+/// per phase into `trace` (span kinds Gather / Unique / Scatter /
+/// AllReduce / Apply, with the phase's exact wire bytes). `None`
+/// disables recording at the cost of one branch per phase — the
+/// `exchange_steady/trace_overhead` bench guards that this stays within
+/// noise of the untraced path.
+pub fn exchange_and_apply_traced(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    cfg: &ExchangeConfig,
+    scratch: &mut ExchangeScratch,
+    trace: Option<&mut TraceRecorder>,
+) -> Result<ExchangeStats, CommError> {
     if cfg.unique {
-        unique_exchange_with(rank, grad, table, lr, cfg.compression, scratch)
+        unique_exchange_traced(rank, grad, table, lr, cfg.compression, scratch, trace)
     } else {
-        baseline_exchange_with(rank, grad, table, lr, cfg.compression, scratch)
+        baseline_exchange_traced(rank, grad, table, lr, cfg.compression, scratch, trace)
     }
 }
 
@@ -261,23 +297,26 @@ pub fn baseline_exchange(
     baseline_exchange_with(rank, grad, table, lr, compression, &mut scratch)
 }
 
-/// The baseline dense exchange (§II-B): ALLGATHER of indices and full
-/// `K×D` gradients from every GPU, then sequential local application in
-/// rank order (deterministic, so all replicas stay identical).
-pub fn baseline_exchange_with(
+/// [`baseline_exchange_with`] with per-phase trace recording (see
+/// [`exchange_and_apply_traced`]).
+#[allow(clippy::too_many_arguments)]
+pub fn baseline_exchange_traced(
     rank: &Rank,
     grad: &SparseGrad,
     table: &mut Embedding,
     lr: f32,
     compression: Option<f32>,
     scratch: &mut ExchangeScratch,
+    mut trace: Option<&mut TraceRecorder>,
 ) -> Result<ExchangeStats, CommError> {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
+    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
     let mut timer = PhaseTimer::start();
     let mut timings = PhaseTimings::default();
 
+    let t0 = trace_now(&trace);
     rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
     match compression {
         Some(scale) => {
@@ -287,10 +326,16 @@ pub fn baseline_exchange_with(
     }
     debug_assert_eq!(scratch.all_rows.len(), scratch.all_indices.len() * d);
     timings.gather_ns = timer.lap_ns();
+    // This rank's gather sends: K u32 indices + K×D rows to G−1 peers —
+    // exactly what the traffic recorder charges it for this phase.
+    let wire_bytes = (n_local as u64) * (d as u64) * elem_bytes * (g as u64 - 1)
+        + (n_local as u64) * 4 * (g as u64 - 1);
+    trace_rec(&mut trace, SpanKind::Gather, t0, wire_bytes);
 
     // Apply every gathered row in (rank, token) order. Repeated indices
     // accumulate — this is the serialised scatter-add the paper
     // describes, complete with its duplicate-row hazard.
+    let t0 = trace_now(&trace);
     for (i, &idx) in scratch.all_indices.iter().enumerate() {
         let row = &scratch.all_rows[i * d..(i + 1) * d];
         let dst = table.weights_mut().row_mut(idx as usize);
@@ -299,10 +344,8 @@ pub fn baseline_exchange_with(
         }
     }
     timings.apply_ns = timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::Apply, t0, 0);
 
-    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
-    let wire_bytes = (n_local as u64) * (d as u64) * elem_bytes * (g as u64 - 1)
-        + (n_local as u64) * 4 * (g as u64 - 1);
     // The gathered buffers live simultaneously: G·K indices + G·K·D rows.
     let total_rows = scratch.all_indices.len() as u64;
     let peak_buffer_bytes = total_rows * 4 + total_rows * (d as u64) * 4;
@@ -315,6 +358,20 @@ pub fn baseline_exchange_with(
         peak_buffer_bytes,
         timings,
     })
+}
+
+/// The baseline dense exchange (§II-B): ALLGATHER of indices and full
+/// `K×D` gradients from every GPU, then sequential local application in
+/// rank order (deterministic, so all replicas stay identical).
+pub fn baseline_exchange_with(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+    scratch: &mut ExchangeScratch,
+) -> Result<ExchangeStats, CommError> {
+    baseline_exchange_traced(rank, grad, table, lr, compression, scratch, None)
 }
 
 /// [`unique_exchange_with`] with a throwaway scratch pool.
@@ -338,34 +395,64 @@ pub fn unique_exchange_with(
     compression: Option<f32>,
     scratch: &mut ExchangeScratch,
 ) -> Result<ExchangeStats, CommError> {
+    unique_exchange_traced(rank, grad, table, lr, compression, scratch, None)
+}
+
+/// [`unique_exchange_with`] with per-phase trace recording (see
+/// [`exchange_and_apply_traced`]). Emits two `Unique` spans per step:
+/// the local reduction (steps 1–2) and the global set derivation
+/// (step 4).
+#[allow(clippy::too_many_arguments)]
+pub fn unique_exchange_traced(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    compression: Option<f32>,
+    scratch: &mut ExchangeScratch,
+    mut trace: Option<&mut TraceRecorder>,
+) -> Result<ExchangeStats, CommError> {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
+    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
     scratch.ensure_vocab(table.vocab());
     let mut timer = PhaseTimer::start();
     let mut timings = PhaseTimings::default();
 
     // Steps 1–2: local unique indices Ĵ and locally-reduced gradients ∆̂
     // (O(K) epoch-map pass — no hashing, no allocation).
+    let t0 = trace_now(&trace);
     scratch.local_reduce(grad, d);
     let u_local = scratch.reduced_indices.len();
     timings.unique_ns = timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::Unique, t0, 0);
 
     // Step 3: ALLGATHER the *index* vectors J (Θ(G·K), not Θ(G·K·D)).
+    let t0 = trace_now(&trace);
     rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
     timings.gather_ns = timer.lap_ns();
+    trace_rec(
+        &mut trace,
+        SpanKind::Gather,
+        t0,
+        (n_local as u64) * 4 * (g as u64 - 1),
+    );
 
     // Step 4: filter to the globally-unique, canonically-ordered index
     // set Î in O(G·K). The gathered vector is identical on every rank,
     // so first-occurrence order is a total order all ranks agree on —
     // the slot assignment needs no sort and no further communication.
+    let t0 = trace_now(&trace);
     scratch.global_unique();
     let u_global = scratch.unique.len();
     timings.unique_ns += timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::Unique, t0, 0);
 
     // Step 5: scatter ∆̂ into the canonical Ug×D layout M (zeros filled).
     // `slot_of` still holds this epoch's global slots, giving O(1)
     // lookup per locally-unique row.
+    let t0 = trace_now(&trace);
     scratch.m.clear();
     scratch.m.resize(u_global * d, 0.0);
     for (i, &idx) in scratch.reduced_indices.iter().enumerate() {
@@ -374,16 +461,23 @@ pub fn unique_exchange_with(
             .copy_from_slice(&scratch.reduced_rows[i * d..(i + 1) * d]);
     }
     timings.scatter_ns = timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::Scatter, t0, 0);
 
-    // Step 6: ALLREDUCE the aligned matrices.
+    // Step 6: ALLREDUCE the aligned matrices. Ring bytes are this
+    // rank's exact share from the chunk schedule (matches the traffic
+    // recorder even when Ug·D does not divide by G).
+    let ring_bytes = simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes);
+    let t0 = trace_now(&trace);
     match compression {
         Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale)?,
         None => rank.all_reduce_sum(&mut scratch.m)?,
     }
     timings.allreduce_ns = timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::AllReduce, t0, ring_bytes);
 
     // Step 7: apply M̂ through Î. Indices are unique ⇒ no duplicate-row
     // serialisation.
+    let t0 = trace_now(&trace);
     for (slot, &idx) in scratch.unique.iter().enumerate() {
         let dst = table.weights_mut().row_mut(idx as usize);
         for (w, &v) in dst.iter_mut().zip(&scratch.m[slot * d..(slot + 1) * d]) {
@@ -391,13 +485,10 @@ pub fn unique_exchange_with(
         }
     }
     timings.apply_ns = timer.lap_ns();
+    trace_rec(&mut trace, SpanKind::Apply, t0, 0);
 
-    let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
-    // Index gather: K·4·(G−1); ring ALLREDUCE: exact per-rank bytes from
-    // the ring's own chunk schedule (matches the traffic recorder even
-    // when Ug·D does not divide by G).
-    let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1)
-        + simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes);
+    // Index gather: K·4·(G−1); ring ALLREDUCE: exact per-rank bytes.
+    let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1) + ring_bytes;
     // Buffers live simultaneously at the ALLREDUCE: G·K gathered
     // indices, the locally-reduced Ĵ (Ui indices) + ∆̂ (Ui×D rows) that
     // step 5 scatters from, and the Ug×D matrix M itself.
@@ -797,5 +888,146 @@ mod tests {
             (0..n * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
         SparseGrad { indices, rows }
+    }
+
+    #[test]
+    fn traced_and_untraced_paths_agree_and_bytes_split_exactly() {
+        // The trace parameter must not perturb results, and the per-rank
+        // event bytes must partition the analytic wire_bytes exactly.
+        for cfg in [
+            ExchangeConfig::unique(),
+            ExchangeConfig::baseline(),
+            ExchangeConfig::unique_compressed(),
+        ] {
+            let plain = exchange_result(3, cfg);
+            let traced = run_group(3, |rank| {
+                let mut table = make_table(7);
+                let grad = make_grad(100 + rank.rank() as u64, 12);
+                let mut scratch = ExchangeScratch::new();
+                let mut rec = simgpu::TraceRecorder::new(rank.rank() as u32, 64);
+                let stats = exchange_and_apply_traced(
+                    &rank,
+                    &grad,
+                    &mut table,
+                    0.1,
+                    &cfg,
+                    &mut scratch,
+                    Some(&mut rec),
+                )
+                .unwrap();
+                (table.weights().clone(), stats, rec.finish())
+            });
+            for (r, ((pt, ps), (tt, ts, log))) in plain.iter().zip(&traced).enumerate() {
+                assert_eq!(pt.as_slice(), tt.as_slice(), "cfg {cfg:?} rank {r}");
+                // Everything but the wall-clock phase timings must match
+                // bit-for-bit (timings differ between any two runs).
+                let mut ts_cmp = ts.clone();
+                ts_cmp.timings = ps.timings;
+                assert_eq!(ps, &ts_cmp);
+                assert_eq!(log.total_bytes(), ts.wire_bytes, "cfg {cfg:?} rank {r}");
+                assert_eq!(log.dropped, 0);
+                let expected_spans: &[SpanKind] = if cfg.unique {
+                    &[
+                        SpanKind::Unique,
+                        SpanKind::Gather,
+                        SpanKind::Unique,
+                        SpanKind::Scatter,
+                        SpanKind::AllReduce,
+                        SpanKind::Apply,
+                    ]
+                } else {
+                    &[SpanKind::Gather, SpanKind::Apply]
+                };
+                let spans: Vec<SpanKind> = log.events.iter().map(|e| e.span).collect();
+                assert_eq!(spans, expected_spans, "cfg {cfg:?}");
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Sort+dedup reference for the *set* behind the canonical order.
+        fn sorted_unique(indices: &[u32]) -> Vec<u32> {
+            let mut v = indices.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+
+        /// First-occurrence reference for the canonical order itself.
+        fn first_occurrence_unique(indices: &[u32]) -> Vec<u32> {
+            let mut seen = std::collections::HashSet::new();
+            indices
+                .iter()
+                .copied()
+                .filter(|&i| seen.insert(i))
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The epoch-stamped canonical unique set: duplicate-free,
+            // first-occurrence-ordered, and equal (as a set) to the
+            // sort+dedup reference — for arbitrary gathered vectors,
+            // including ones that revisit the same scratch across steps
+            // (stale epoch stamps must never leak between calls).
+            #[test]
+            fn global_unique_matches_references(
+                gathered in proptest::collection::vec(0u32..50, 0..200),
+                second in proptest::collection::vec(0u32..50, 0..200),
+            ) {
+                let mut scratch = ExchangeScratch::new();
+                scratch.ensure_vocab(50);
+                for round in [&gathered, &second] {
+                    scratch.all_indices.clear();
+                    scratch.all_indices.extend_from_slice(round);
+                    scratch.global_unique();
+                    prop_assert_eq!(&scratch.unique, &first_occurrence_unique(round));
+                    prop_assert_eq!(sorted_unique(&scratch.unique), sorted_unique(round));
+                    // slot_of must invert the canonical order.
+                    for (slot, &w) in scratch.unique.iter().enumerate() {
+                        prop_assert_eq!(scratch.slot_of[w as usize] as usize, slot);
+                    }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            // Cross-rank agreement: every rank derives the identical
+            // canonical set from its own copy of the gathered vector.
+            #[test]
+            fn canonical_set_identical_across_ranks(
+                seed in 0u64..1000,
+                world in 2usize..5,
+                tokens in 1usize..24,
+            ) {
+                let uniques = run_group(world, |rank| {
+                    let mut table = make_table(1);
+                    let grad = make_grad(seed * 64 + rank.rank() as u64, tokens);
+                    let mut scratch = ExchangeScratch::new();
+                    unique_exchange_with(&rank, &grad, &mut table, 0.1, None, &mut scratch)
+                        .unwrap();
+                    scratch.unique.clone()
+                });
+                for u in &uniques[1..] {
+                    prop_assert_eq!(u, &uniques[0]);
+                }
+                prop_assert_eq!(
+                    &uniques[0],
+                    &first_occurrence_unique(&{
+                        let mut all = Vec::new();
+                        for r in 0..world {
+                            all.extend(make_grad(seed * 64 + r as u64, tokens).indices);
+                        }
+                        all
+                    })
+                );
+            }
+        }
     }
 }

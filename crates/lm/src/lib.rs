@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use zipf_lm::{TrainConfig, ModelKind, Method, train};
+//! use zipf_lm::{TrainConfig, TraceConfig, ModelKind, Method, train};
 //! use zipf_lm::seeding::SeedStrategy;
 //!
 //! let cfg = TrainConfig {
@@ -39,10 +39,22 @@
 //!     method: Method::unique(),
 //!     seed: 42,
 //!     tokens: 20_000,
+//!     trace: TraceConfig::off(),
 //! };
 //! let report = train(&cfg).expect("training runs");
 //! assert!(report.epochs[0].train_loss.is_finite());
 //! ```
+//!
+//! ## Observability
+//!
+//! Set `trace: TraceConfig::on()` and every rank records per-span
+//! [`simgpu::trace::TraceEvent`]s (collectives, exchange phases, barrier
+//! waits, injected straggler delays) into a lock-free ring buffer;
+//! export with [`chrome_trace_json`] (open in `chrome://tracing`) or
+//! [`TrainReport::steps_jsonl`]. Independent of tracing, each step's
+//! simulated time carries an exact integer-picosecond
+//! [`TimeAttribution`] split (compute / wire / barrier-wait / skew /
+//! self-delay) that sums to `sim_time_ps` on every rank.
 
 pub mod config;
 pub mod eval;
@@ -51,12 +63,14 @@ pub mod metrics;
 pub mod seeding;
 pub mod trainer;
 
-pub use config::{Method, ModelKind, TrainConfig};
+pub use config::{Method, ModelKind, TraceConfig, TrainConfig};
 pub use exchange::{
-    exchange_and_apply, exchange_and_apply_with, ExchangeConfig, ExchangeScratch, ExchangeStats,
-    PhaseTimings,
+    exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
+    ExchangeScratch, ExchangeStats, PhaseTimings,
 };
-pub use metrics::{EpochMetrics, StepMetrics, TrainReport};
+pub use metrics::{EpochMetrics, StepMetrics, TimeAttribution, TrainReport};
 pub use seeding::SeedStrategy;
-pub use simgpu::{CommError, FaultPlan};
+pub use simgpu::{
+    chrome_trace_json, CommError, FaultPlan, SpanKind, TraceEvent, TraceLog, TraceRecorder,
+};
 pub use trainer::{train, train_with_faults, train_with_memory_limit, TrainError};

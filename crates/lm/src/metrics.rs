@@ -1,28 +1,94 @@
 //! Training metrics and reports.
 
 use crate::exchange::{ExchangeStats, PhaseTimings};
-use simgpu::TrafficSnapshot;
+use simgpu::{TraceLog, TrafficSnapshot};
 
-/// Per-step measurements (collected on rank 0; all ranks agree on the
-/// synchronised quantities).
+/// Where one rank's simulated step time went, in integer picoseconds.
+///
+/// The trainer models a synchronous step: `T = max over ranks of
+/// (modelled work + injected straggler delay)`, computed identically on
+/// every rank from the α–β cost model (ring schedules and fault plans
+/// are global knowledge, so no extra communication is needed). Each
+/// rank then splits its own share of `T` into these buckets.
+///
+/// **Invariant** (asserted in `tests/trace_attribution.rs`): the five
+/// buckets sum to the step's `sim_time_ps` *exactly*, on every rank —
+/// all arithmetic is integer picoseconds, each α–β term quantised
+/// individually via [`simgpu::secs_to_ps`], so there is no epsilon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeAttribution {
+    /// Local model compute plus gradient-application memory touches.
+    pub compute_ps: u64,
+    /// Collective latency terms plus this rank's exact wire bytes over
+    /// the modelled fabric (dense ALLREDUCE, index ALLGATHER, `Ug×D`
+    /// ALLREDUCE).
+    pub wire_ps: u64,
+    /// Time parked waiting for slower peers' *modelled work* — load
+    /// imbalance inherent to the step (uneven ring shares).
+    pub barrier_wait_ps: u64,
+    /// Extra wait caused by peers' *injected* straggler delays. Zero on
+    /// the straggler itself — skew is attributed to its victims.
+    pub skew_ps: u64,
+    /// This rank's own injected straggler delay.
+    pub self_delay_ps: u64,
+}
+
+impl TimeAttribution {
+    /// Sum of all buckets — equals the step's `sim_time_ps` exactly.
+    pub fn total_ps(&self) -> u64 {
+        self.compute_ps + self.wire_ps + self.barrier_wait_ps + self.skew_ps + self.self_delay_ps
+    }
+
+    /// Elementwise accumulation (for per-run totals).
+    pub fn accumulate(&mut self, other: &TimeAttribution) {
+        self.compute_ps += other.compute_ps;
+        self.wire_ps += other.wire_ps;
+        self.barrier_wait_ps += other.barrier_wait_ps;
+        self.skew_ps += other.skew_ps;
+        self.self_delay_ps += other.self_delay_ps;
+    }
+}
+
+/// Per-step measurements, collected on **every** rank (each rank's
+/// [`TrainReport`] carries its own copy).
+///
+/// Synchronised fields — bit-identical across ranks: `step`,
+/// `train_loss`, `sim_time_ps` / `sim_time_s`, and the exchanges'
+/// `local_tokens` / `unique_global`. Rank-local fields — they differ
+/// per rank: `dense_bytes` and the exchanges' `wire_bytes` (each rank's
+/// exact ring-schedule share), `unique_local`, `peak_buffer_bytes`, the
+/// wall-clock `timings`, and the `attribution` buckets (every rank
+/// splits the *same* step time by its own work). Cross-rank agreement
+/// of the synchronised fields is asserted in
+/// `tests/training_end_to_end.rs`.
 #[derive(Debug, Clone, Default)]
 pub struct StepMetrics {
     /// Global step index.
     pub step: u64,
     /// Mean training loss across GPUs (nats).
     pub train_loss: f64,
-    /// Simulated wall-clock seconds for this step (compute + comm on the
-    /// Table II hardware model).
+    /// Simulated step time in integer picoseconds on the Table II
+    /// hardware model — the synchronous-step `T` described on
+    /// [`TimeAttribution`]. Identical on all ranks.
+    pub sim_time_ps: u64,
+    /// `sim_time_ps` in seconds (`× 1e-12`), kept for display and
+    /// backward compatibility.
     pub sim_time_s: f64,
+    /// This rank's exact split of the step time.
+    pub attribution: TimeAttribution,
     /// Input-embedding exchange statistics.
     pub input_exchange: ExchangeStats,
     /// Output-embedding exchange statistics (word LM only).
     pub output_exchange: Option<ExchangeStats>,
-    /// Bytes this rank moved for the dense (RNN/projection) ALLREDUCE.
+    /// Bytes this rank moved for the dense (RNN/projection) ALLREDUCE
+    /// (rank-local: ring chunk shares differ when the payload does not
+    /// divide by `G`).
     pub dense_bytes: u64,
 }
 
-/// Per-epoch summary.
+/// Per-epoch summary, collected on rank 0 only (validation is evaluated
+/// there; replicas are identical, so the values are representative —
+/// and `train_loss` / `sim_time_s` are synchronised quantities anyway).
 #[derive(Debug, Clone, Default)]
 pub struct EpochMetrics {
     /// Epoch index (0-based).
@@ -53,6 +119,12 @@ pub struct TrainReport {
     /// Mean globally-unique words per step (`Ug`), if the unique path
     /// ran.
     pub mean_unique_global: f64,
+    /// Run-total time attribution for this rank (sum of every step's
+    /// [`StepMetrics::attribution`]).
+    pub attribution: TimeAttribution,
+    /// This rank's span trace, when tracing was enabled in
+    /// `TrainConfig::trace`. Export with [`simgpu::chrome_trace_json`].
+    pub trace: Option<TraceLog>,
 }
 
 impl TrainReport {
@@ -79,6 +151,37 @@ impl TrainReport {
         total
     }
 
+    /// Serialises per-step telemetry as JSON Lines: one object per step,
+    /// newline-terminated, fields in a fixed order (golden-tested in
+    /// `tests/telemetry_golden.rs` so downstream tooling can rely on
+    /// the schema). Attribution buckets are this rank's; `sim_time_ps`
+    /// and `train_loss` are synchronised across ranks.
+    pub fn steps_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            let a = &s.attribution;
+            out.push_str(&format!(
+                "{{\"step\":{},\"train_loss\":{},\"sim_time_ps\":{},\
+                 \"compute_ps\":{},\"wire_ps\":{},\"barrier_wait_ps\":{},\
+                 \"skew_ps\":{},\"self_delay_ps\":{},\"dense_bytes\":{},\
+                 \"input_wire_bytes\":{},\"output_wire_bytes\":{},\"unique_global\":{}}}\n",
+                s.step,
+                json_f64(s.train_loss),
+                s.sim_time_ps,
+                a.compute_ps,
+                a.wire_ps,
+                a.barrier_wait_ps,
+                a.skew_ps,
+                a.self_delay_ps,
+                s.dense_bytes,
+                s.input_exchange.wire_bytes,
+                s.output_exchange.map(|e| e.wire_bytes).unwrap_or(0),
+                s.input_exchange.unique_global,
+            ));
+        }
+        out
+    }
+
     /// Mean wire bytes per step across the run.
     pub fn mean_step_bytes(&self) -> f64 {
         if self.steps.is_empty() {
@@ -97,9 +200,48 @@ impl TrainReport {
     }
 }
 
+/// Finite floats print via `{}` (shortest round-trip form); non-finite
+/// values become JSON `null` instead of the invalid bare `NaN`/`inf`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn attribution_totals_and_accumulates() {
+        let a = TimeAttribution {
+            compute_ps: 5,
+            wire_ps: 4,
+            barrier_wait_ps: 3,
+            skew_ps: 2,
+            self_delay_ps: 1,
+        };
+        assert_eq!(a.total_ps(), 15);
+        let mut sum = TimeAttribution::default();
+        sum.accumulate(&a);
+        sum.accumulate(&a);
+        assert_eq!(sum.total_ps(), 30);
+        assert_eq!(sum.compute_ps, 10);
+    }
+
+    #[test]
+    fn jsonl_escapes_non_finite_losses() {
+        let mut r = TrainReport::default();
+        r.steps.push(StepMetrics {
+            train_loss: f64::NAN,
+            ..Default::default()
+        });
+        let line = r.steps_jsonl();
+        assert!(line.contains("\"train_loss\":null"));
+        assert!(!line.contains("NaN"));
+    }
 
     #[test]
     fn report_aggregates() {

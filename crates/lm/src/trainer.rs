@@ -13,7 +13,18 @@
 //!    candidate sets were drawn under the configured [`SeedStrategy`];
 //! 5. transient exchange buffers are charged against the simulated
 //!    device memory (this is where the baseline OOMs, Tables III/IV);
-//! 6. simulated wall-clock time is accumulated from the α–β cost model.
+//! 6. simulated wall-clock time is accumulated from the α–β cost model
+//!    in integer picoseconds: every rank locally fills the same
+//!    per-rank work table and takes the max (synchronous SGD), then
+//!    splits its own share of that step time into the exact
+//!    [`TimeAttribution`] buckets — compute, wire, barrier wait,
+//!    injected skew, own delay.
+//!
+//! With `TrainConfig::trace` enabled, each rank additionally records a
+//! [`simgpu::trace::TraceEvent`] per span (compute, collectives,
+//! exchange phases, barrier waits, straggler delays) into a lock-free
+//! ring buffer, returned as `TrainReport::trace` and exportable via
+//! [`simgpu::chrome_trace_json`] / `TrainReport::steps_jsonl`.
 //!
 //! ## Failure model
 //!
@@ -30,15 +41,18 @@
 
 use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
-use crate::exchange::{exchange_and_apply_with, ExchangeConfig, ExchangeScratch, ExchangeStats};
-use crate::metrics::{EpochMetrics, StepMetrics, TrainReport};
+use crate::exchange::{exchange_and_apply_traced, ExchangeConfig, ExchangeScratch, ExchangeStats};
+use crate::metrics::{EpochMetrics, StepMetrics, TimeAttribution, TrainReport};
 use corpus::{shard_batches, train_valid_split, BatchSpec, CorpusGenerator, TokenUnit, Vocab};
 use nn::model::SeqBatch;
 use nn::optimizer::scaled_lr;
 use nn::{CharLm, WordLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use simgpu::{CommError, CommGroup, CostModel, Device, FaultPlan, HardwareConfig, OomError, Rank};
+use simgpu::{
+    secs_to_ps, CommError, CommGroup, CostModel, Device, FaultPlan, HardwareConfig, OomError, Rank,
+    SpanKind, TraceRecorder,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -365,31 +379,49 @@ struct RankOutput {
     report: TrainReport,
 }
 
-/// Simulated time of one exchange on the cost model.
-fn exchange_time(
+/// Simulated cost of one exchange for rank `q`, in integer picoseconds,
+/// split into `(wire_ps, touch_ps)` — the collective part and the local
+/// memory-touch part. Every α–β term is quantised to ps individually
+/// ([`secs_to_ps`]), so sums of terms stay exact.
+///
+/// Any rank can evaluate this for any `q`: the inputs are rank-invariant
+/// (`local_tokens` is `batch·seq_len` for the input exchange and
+/// `batch·seq_len + samples` for the output one on every rank;
+/// `unique_global` is synchronised by construction), and rank `q`'s ring
+/// ALLREDUCE share comes from the chunk schedule, which is global
+/// knowledge — the basis of the local, communication-free step-time
+/// model in [`run_rank`].
+fn exchange_cost_ps(
     cost: &CostModel,
     stats: &ExchangeStats,
     cfg: &ExchangeConfig,
     gpus: usize,
     dim: usize,
-) -> f64 {
+    q: usize,
+) -> (u64, u64) {
     let elem: u64 = if cfg.compression.is_some() { 2 } else { 4 };
     if cfg.unique {
         // Index ALLGATHER + Ug×D ALLREDUCE + local table touch.
-        cost.allgather_time(stats.local_tokens as u64 * 4, gpus)
-            + cost.allreduce_time(stats.unique_global as u64 * dim as u64 * elem, gpus)
-            + cost.memory_touch_time(stats.unique_global as u64 * dim as u64 * 4)
+        let wire = secs_to_ps(cost.allgather_time(stats.local_tokens as u64 * 4, gpus))
+            + secs_to_ps(cost.allreduce_rank_time(stats.unique_global * dim, elem, gpus, q));
+        let touch = secs_to_ps(cost.memory_touch_time(stats.unique_global as u64 * dim as u64 * 4));
+        (wire, touch)
     } else {
         // Dense ALLGATHER of K×D rows + indices, then a Θ(G·K·D) local
         // update touch.
-        cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus)
-            + cost.memory_touch_time(gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4)
+        let wire = secs_to_ps(
+            cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus),
+        );
+        let touch = secs_to_ps(
+            cost.memory_touch_time(gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4),
+        );
+        (wire, touch)
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_rank(
-    rank: Rank,
+    mut rank: Rank,
     device: Arc<Device>,
     cfg: &TrainConfig,
     model_vocab: usize,
@@ -409,6 +441,17 @@ fn run_rank(
     };
     let hw_gpus_per_node = cost.hardware().gpus_per_node;
     let mut lr = scaled_lr(cfg.base_lr, g, hw_gpus_per_node);
+
+    // Opt-in tracing: a per-rank ring recorder plus barrier-wait
+    // accounting on the communicator (enabled before the abort guard
+    // borrows `rank`). When disabled, nothing here allocates and every
+    // hot-path trace site is one `None` branch.
+    let mut recorder = if cfg.trace.enabled {
+        rank.enable_wait_tracking();
+        Some(TraceRecorder::new(r as u32, cfg.trace.events_per_rank))
+    } else {
+        None
+    };
 
     // Safety net: if this rank unwinds (an `?` below, a panic in the
     // model code) the armed guard poisons the group, so peers error out
@@ -432,6 +475,19 @@ fn run_rank(
     let mut in_scratch = ExchangeScratch::new();
     let mut out_scratch = ExchangeScratch::new();
 
+    // Step-time model tables, hoisted so the loop stays allocation-free:
+    // every rank computes every rank's modelled work locally (see
+    // `exchange_cost_ps`), takes the max, and so derives the *same*
+    // synchronous step time without any extra communication.
+    let mut work_ps: Vec<u64> = vec![0; g];
+    let delay_ps: Vec<u64> = (0..g)
+        .map(|q| {
+            plan.straggler_delay(q).map_or(0, |d| {
+                u64::try_from(d.as_nanos()).unwrap_or(u64::MAX / 2000) * 1000
+            })
+        })
+        .collect();
+
     for epoch in 0..cfg.epochs {
         let mut iter = shard_batches(train_tokens, spec, r, g);
         let steps = if cfg.steps_per_epoch > 0 {
@@ -440,7 +496,7 @@ fn run_rank(
             iter.len()
         };
         let mut epoch_loss = 0.0f64;
-        let mut epoch_time = 0.0f64;
+        let mut epoch_time_ps = 0u64;
 
         for _ in 0..steps {
             if plan.should_die(r, global_step as usize) {
@@ -448,8 +504,15 @@ fn run_rank(
                 rank.abort(reason.clone());
                 return Err(TrainError::PeerFailure { rank: r, reason });
             }
+            if let Some(rec) = recorder.as_mut() {
+                rec.set_step(global_step);
+            }
             if let Some(delay) = plan.straggler_delay(r) {
+                let t0 = recorder.as_ref().map(|rec| rec.now_ns());
                 std::thread::sleep(delay);
+                if let Some(rec) = recorder.as_mut() {
+                    rec.record_since(SpanKind::StragglerDelay, t0.unwrap_or(0), 0);
+                }
             }
             let batch = match iter.next() {
                 Some(b) => b,
@@ -468,10 +531,15 @@ fn run_rank(
                 cfg.method
                     .seeding
                     .seed_for(cfg.seed ^ SAMPLE_SEED, r, g, global_step);
+            let t0 = recorder.as_ref().map(|rec| rec.now_ns());
             let out = replica.step(&sb, sample_seed);
+            if let Some(rec) = recorder.as_mut() {
+                rec.record_since(SpanKind::Compute, t0.unwrap_or(0), 0);
+            }
 
             // Dense ALLREDUCE + average.
             let mut dense = out.dense;
+            let t0 = recorder.as_ref().map(|rec| rec.now_ns());
             match cfg.method.compression {
                 Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale)?,
                 None => rank.all_reduce_sum(&mut dense)?,
@@ -488,27 +556,32 @@ fn run_rank(
             // Exact per-rank ring bytes from the chunk schedule — matches
             // the traffic recorder even when dense.len() ∤ g.
             let dense_bytes = simgpu::ring_allreduce_send_bytes(dense.len(), g, r, elem);
+            if let Some(rec) = recorder.as_mut() {
+                rec.record_since(SpanKind::AllReduce, t0.unwrap_or(0), dense_bytes);
+            }
 
             // Embedding exchanges (applied with lr/G: sum → average).
             let dim = replica.embed_dim();
             let lr_eff = lr * inv_g;
             let in_grad = out.input_grad;
-            let in_stats = exchange_and_apply_with(
+            let in_stats = exchange_and_apply_traced(
                 &rank,
                 &in_grad,
                 replica.input_table(),
                 lr_eff,
                 &xcfg,
                 &mut in_scratch,
+                recorder.as_mut(),
             )?;
             let out_stats = match (out.output_grad, replica.output_table()) {
-                (Some(grad), Some(table)) => Some(exchange_and_apply_with(
+                (Some(grad), Some(table)) => Some(exchange_and_apply_traced(
                     &rank,
                     &grad,
                     table,
                     lr_eff,
                     &xcfg,
                     &mut out_scratch,
+                    recorder.as_mut(),
                 )?),
                 _ => None,
             };
@@ -532,38 +605,89 @@ fn run_rank(
             replica.apply_dense(&dense, lr);
 
             // Synchronised mean loss.
+            let t0 = recorder.as_ref().map(|rec| rec.now_ns());
             let loss = rank.all_reduce_scalar_f64(out.loss)? / g as f64;
+            if let Some(rec) = recorder.as_mut() {
+                rec.record_since(SpanKind::AllReduce, t0.unwrap_or(0), 8 * (g as u64 - 1));
+            }
             epoch_loss += loss;
 
-            // Simulated step time on the Table II hardware.
+            // Drain the step's accumulated barrier-wait wall-clock into
+            // one synthetic contiguous span ending now (individual waits
+            // happened inside the collectives above).
+            if let Some(rec) = recorder.as_mut() {
+                let waited = rank.take_barrier_wait_ns();
+                let end = rec.now_ns();
+                rec.record(SpanKind::BarrierWait, end.saturating_sub(waited), end, 0);
+            }
+
+            // Simulated step time on the Table II hardware, in integer
+            // picoseconds. Synchronous SGD: the step ends when the
+            // slowest rank arrives, so every rank fills the same
+            // per-rank work table locally (pure arithmetic — see
+            // `exchange_cost_ps`) and takes the max. The resulting T is
+            // identical on all ranks, making `sim_time_ps` a
+            // synchronised quantity; the *attribution* of T is
+            // rank-local.
             let k = cfg.local_batch_tokens();
-            let mut t = cost.compute_time(cfg.model.flops_per_step(k));
-            t += cost.allreduce_time(dense.len() as u64 * elem, g);
+            let compute_ps = secs_to_ps(cost.compute_time(cfg.model.flops_per_step(k)));
             let out_dim = match &replica {
                 Replica::Word(m) => m.config().proj_dim,
                 Replica::Char(_) => dim,
             };
-            t += exchange_time(cost, &in_stats, &xcfg, g, dim);
-            if let Some(s) = &out_stats {
-                t += exchange_time(cost, s, &xcfg, g, out_dim);
+            let mut my_wire_ps = 0u64;
+            let mut my_touch_ps = 0u64;
+            let mut t0_ps = 0u64; // max modelled work, delays excluded
+            let mut t_ps = 0u64; // max busy = work + injected delay
+            for (q, w) in work_ps.iter_mut().enumerate() {
+                let dense_q = secs_to_ps(cost.allreduce_rank_time(dense.len(), elem, g, q));
+                let (in_wire, in_touch) = exchange_cost_ps(cost, &in_stats, &xcfg, g, dim, q);
+                let (out_wire, out_touch) = match &out_stats {
+                    Some(s) => exchange_cost_ps(cost, s, &xcfg, g, out_dim, q),
+                    None => (0, 0),
+                };
+                let wire_q = dense_q + in_wire + out_wire;
+                let touch_q = in_touch + out_touch;
+                *w = compute_ps + touch_q + wire_q;
+                t0_ps = t0_ps.max(*w);
+                t_ps = t_ps.max(*w + delay_ps[q]);
+                if q == r {
+                    my_wire_ps = wire_q;
+                    my_touch_ps = touch_q;
+                }
             }
-            epoch_time += t;
+            // Exact decomposition of T for this rank: whatever exceeds
+            // this rank's busy time is waiting — up to T0 − work it is
+            // inherent load imbalance (barrier wait), beyond that it can
+            // only be caused by peers' injected delays (skew).
+            let wait_ps = t_ps - (work_ps[r] + delay_ps[r]);
+            let barrier_wait_ps = wait_ps.min(t0_ps - work_ps[r]);
+            let attribution = TimeAttribution {
+                compute_ps: compute_ps + my_touch_ps,
+                wire_ps: my_wire_ps,
+                barrier_wait_ps,
+                skew_ps: wait_ps - barrier_wait_ps,
+                self_delay_ps: delay_ps[r],
+            };
+            debug_assert_eq!(attribution.total_ps(), t_ps);
+            epoch_time_ps += t_ps;
+            report.attribution.accumulate(&attribution);
 
             if xcfg.unique {
                 unique_sum += in_stats.unique_global as f64;
                 unique_count += 1;
             }
 
-            if is_rank0 {
-                report.steps.push(StepMetrics {
-                    step: global_step,
-                    train_loss: loss,
-                    sim_time_s: t,
-                    input_exchange: in_stats,
-                    output_exchange: out_stats,
-                    dense_bytes,
-                });
-            }
+            report.steps.push(StepMetrics {
+                step: global_step,
+                train_loss: loss,
+                sim_time_ps: t_ps,
+                sim_time_s: t_ps as f64 * 1e-12,
+                attribution,
+                input_exchange: in_stats,
+                output_exchange: out_stats,
+                dense_bytes,
+            });
             global_step += 1;
         }
 
@@ -581,7 +705,7 @@ fn run_rank(
                 train_loss: epoch_loss / steps.max(1) as f64,
                 valid_ppl: valid_nll.exp(),
                 valid_bpc: valid_nll / std::f64::consts::LN_2,
-                sim_time_s: epoch_time,
+                sim_time_s: epoch_time_ps as f64 * 1e-12,
             });
         }
         lr *= cfg.lr_decay;
@@ -593,6 +717,7 @@ fn run_rank(
     } else {
         0.0
     };
+    report.trace = recorder.map(TraceRecorder::finish);
     guard.disarm();
     Ok(RankOutput { report })
 }
@@ -605,7 +730,7 @@ const SAMPLE_SEED: u64 = 0x5eed_5eed_5eed_5eed;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Method;
+    use crate::config::{Method, TraceConfig};
     use crate::seeding::SeedStrategy;
 
     fn quick_cfg(model: ModelKind, gpus: usize, method: Method) -> TrainConfig {
@@ -621,6 +746,7 @@ mod tests {
             method,
             seed: 7,
             tokens: 30_000,
+            trace: TraceConfig::off(),
         }
     }
 

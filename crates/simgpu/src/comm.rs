@@ -33,7 +33,9 @@
 
 use crate::traffic::{TrafficRecorder, TrafficSnapshot};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
+use std::time::Instant;
 
 /// Thin wrapper over `std::sync::Mutex` with `parking_lot`-style
 /// `lock()` ergonomics (no `Result`). A poisoned lock is recovered
@@ -280,6 +282,7 @@ impl CommGroup {
             .map(|rank| Rank {
                 rank,
                 core: Arc::clone(&core),
+                wait_ns: None,
             })
             .collect()
     }
@@ -289,6 +292,9 @@ impl CommGroup {
 pub struct Rank {
     rank: usize,
     core: Arc<GroupCore>,
+    /// Opt-in barrier-wait accounting (see [`Rank::enable_wait_tracking`]).
+    /// `None` by default so the hot path pays a single branch, no timing.
+    wait_ns: Option<AtomicU64>,
 }
 
 /// Chunk boundaries for the ring algorithm: `G` nearly-equal ranges.
@@ -331,7 +337,32 @@ impl Rank {
 
     /// Synchronises all ranks; `Err` if any rank aborted the group.
     pub fn barrier(&self) -> Result<(), CommError> {
-        self.core.barrier.wait()
+        match &self.wait_ns {
+            None => self.core.barrier.wait(),
+            Some(counter) => {
+                let start = Instant::now();
+                let res = self.core.barrier.wait();
+                let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                counter.fetch_add(waited, Ordering::Relaxed);
+                res
+            }
+        }
+    }
+
+    /// Turns on wall-clock accounting of the time this rank spends
+    /// parked in [`Rank::barrier`] — and therefore inside every
+    /// collective, which all synchronise through it. Off by default:
+    /// the untracked barrier is exactly the pre-existing code path.
+    pub fn enable_wait_tracking(&mut self) {
+        self.wait_ns = Some(AtomicU64::new(0));
+    }
+
+    /// Nanoseconds spent blocked at barriers since the previous call
+    /// (the counter resets to zero). Always 0 while tracking is off.
+    pub fn take_barrier_wait_ns(&self) -> u64 {
+        self.wait_ns
+            .as_ref()
+            .map_or(0, |c| c.swap(0, Ordering::Relaxed))
     }
 
     /// Poisons the group on behalf of this rank: all peers blocked in a
@@ -1464,5 +1495,44 @@ mod tests {
             assert_eq!(a.failed_rank, 0);
             assert_eq!(b, a);
         }
+    }
+
+    #[test]
+    fn wait_tracking_off_reads_zero() {
+        let waited = run_group(2, |rank| {
+            rank.barrier().unwrap();
+            rank.take_barrier_wait_ns()
+        });
+        assert_eq!(waited, vec![0, 0]);
+    }
+
+    #[test]
+    fn wait_tracking_measures_a_slow_peer() {
+        let delay = std::time::Duration::from_millis(20);
+        let waited = run_group(2, |rank| {
+            let mut rank = rank;
+            rank.enable_wait_tracking();
+            if rank.rank() == 1 {
+                std::thread::sleep(delay);
+            }
+            rank.barrier().unwrap();
+            rank.take_barrier_wait_ns()
+        });
+        // Rank 0 parked for roughly the peer's sleep; the sleeper itself
+        // barely waits. take() drains: a second read must be zero.
+        assert!(
+            waited[0] >= delay.as_nanos() as u64 / 2,
+            "rank 0 waited only {} ns",
+            waited[0]
+        );
+        assert!(waited[0] > waited[1]);
+        let drained = run_group(1, |rank| {
+            let mut rank = rank;
+            rank.enable_wait_tracking();
+            rank.barrier().unwrap();
+            let first = rank.take_barrier_wait_ns();
+            (first, rank.take_barrier_wait_ns())
+        });
+        assert_eq!(drained[0].1, 0, "counter must reset on take");
     }
 }

@@ -52,6 +52,32 @@ impl CostModel {
         2.0 * (g - 1.0) * alpha + 2.0 * (g - 1.0) / g * bytes as f64 / beta
     }
 
+    /// Seconds *rank `rank`* spends in a ring ALLREDUCE of `n_elems`
+    /// elements of `elem_bytes` each over `gpus` GPUs: the shared
+    /// `2(G−1)·α` latency term plus this rank's exact wire bytes from
+    /// the ring's own chunk schedule
+    /// ([`crate::comm::ring_allreduce_send_bytes`]). Unlike
+    /// [`CostModel::allreduce_time`], which uses the idealised
+    /// `2(G−1)/G·n` volume, this stays exact when `n_elems` does not
+    /// divide by `gpus` — per-rank time attribution is built on it.
+    pub fn allreduce_rank_time(
+        &self,
+        n_elems: usize,
+        elem_bytes: u64,
+        gpus: usize,
+        rank: usize,
+    ) -> f64 {
+        assert!(gpus >= 1 && rank < gpus);
+        if gpus == 1 {
+            return 0.0;
+        }
+        let g = gpus as f64;
+        let alpha = self.hw.ring_latency(gpus);
+        let beta = self.hw.ring_bandwidth(gpus);
+        let bytes = crate::comm::ring_allreduce_send_bytes(n_elems, gpus, rank, elem_bytes);
+        2.0 * (g - 1.0) * alpha + bytes as f64 / beta
+    }
+
     /// Seconds for an ALLGATHER where each GPU contributes
     /// `bytes_per_gpu` and receives all others' contributions.
     pub fn allgather_time(&self, bytes_per_gpu: u64, gpus: usize) -> f64 {
@@ -133,6 +159,25 @@ mod tests {
         // 2.44 TFLOP at 40% of 6.1 TFLOP/s takes 1 second.
         let t = m.compute_time(2.44e12);
         assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_rank_allreduce_matches_aggregate_when_divisible() {
+        // When n divides by G every rank moves the idealised 2(G−1)/G·n
+        // bytes, so the per-rank expression equals the aggregate one.
+        let m = model();
+        for gpus in [2usize, 4, 8] {
+            let n = 1024 * gpus;
+            let whole = m.allreduce_time(n as u64 * 4, gpus);
+            for r in 0..gpus {
+                let per = m.allreduce_rank_time(n, 4, gpus, r);
+                assert!(
+                    (per - whole).abs() < 1e-12,
+                    "gpus {gpus} rank {r}: {per} vs {whole}"
+                );
+            }
+        }
+        assert_eq!(m.allreduce_rank_time(1 << 20, 4, 1, 0), 0.0);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   the V100/NVLink system of §V-D).
 //! * [`cost`] — the α–β (latency–bandwidth) model translating byte
 //!   volumes and FLOP counts into simulated wall-clock seconds.
+//! * [`trace`] — per-rank structured tracing: a lock-free span recorder
+//!   (ring buffer of [`trace::TraceEvent`]s) plus a Chrome-trace JSON
+//!   exporter, so individual collectives, barrier waits and injected
+//!   straggler delays are visible per rank, not just in aggregates.
 //!
 //! Threads stand in for GPUs: one OS thread per rank, shared-memory
 //! mailboxes for links. Every collective really moves the payload through
@@ -35,6 +39,7 @@ pub mod device;
 pub mod fault;
 pub mod hw;
 pub mod timing;
+pub mod trace;
 pub mod traffic;
 
 pub use comm::{
@@ -46,4 +51,5 @@ pub use device::{Allocation, Device, OomError};
 pub use fault::FaultPlan;
 pub use hw::HardwareConfig;
 pub use timing::PhaseTimer;
+pub use trace::{chrome_trace_json, secs_to_ps, SpanKind, TraceEvent, TraceLog, TraceRecorder};
 pub use traffic::{TrafficRecorder, TrafficSnapshot};

@@ -1,0 +1,81 @@
+//! Property tests for §III-C compression-scaling: the FP16 collectives
+//! multiply by `scale` before narrowing to binary16 and divide after
+//! widening, so the wire round-trip is `f16(x·s)/s`. The properties pin
+//! down what the trainer relies on:
+//!
+//! * bounded relative round-trip error across the representable range,
+//! * no `inf`/`NaN` ever materialises while `|x·s|` stays under the
+//!   binary16 overflow threshold,
+//! * values whose scaled image is exactly representable survive the
+//!   round-trip bit-for-bit.
+
+use proptest::prelude::*;
+use simgpu::{f16_bits_to_f32, f32_to_f16_bits};
+
+/// The wire round-trip the FP16 collectives apply to every element.
+fn round_trip(x: f32, scale: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x * scale)) / scale
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Round-to-nearest-even on the 11-bit significand gives a relative
+    /// error of at most 2⁻¹¹ in the normal range, plus an absolute
+    /// subnormal quantum of 2⁻²⁵ (pre-scaling) near zero. The bound is
+    /// `|x|·2⁻¹¹·(1+ε) + 2⁻²⁵/scale` — valid over normals *and*
+    /// subnormals, for every compression scale.
+    #[test]
+    fn round_trip_error_is_bounded(
+        x in -60_000.0f32..60_000.0,
+        scale_pow in 0u32..10,
+    ) {
+        let scale = (1u32 << scale_pow) as f32; // 1, 2, …, 512 — the paper's default is 512
+        prop_assume!((x * scale).abs() < 65_500.0); // stay under binary16 overflow (65 520 rounds to inf)
+        let y = round_trip(x, scale);
+        let bound = x.abs() * (1.0 / 2048.0) * 1.0001 + 2.0f32.powi(-25) / scale;
+        prop_assert!(
+            (y - x).abs() <= bound,
+            "x={x} scale={scale}: round-trip {y}, err {} > bound {bound}",
+            (y - x).abs()
+        );
+    }
+
+    /// Within the representable range the round-trip must never
+    /// manufacture a non-finite value — the trainer feeds the result
+    /// straight into weight updates.
+    #[test]
+    fn round_trip_never_produces_inf_or_nan(
+        x in -100_000.0f32..100_000.0,
+        scale_pow in 0u32..10,
+    ) {
+        let scale = (1u32 << scale_pow) as f32;
+        prop_assume!((x * scale).abs() < 65_500.0);
+        let y = round_trip(x, scale);
+        prop_assert!(y.is_finite(), "x={x} scale={scale} -> {y}");
+    }
+
+    /// Exactness: when `x·s = m·2^shift` with an 11-bit `m` in binary16's
+    /// normal range, narrowing loses nothing, and dividing by a
+    /// power-of-two scale is exact in f32 — so `x` comes back
+    /// bit-for-bit.
+    #[test]
+    fn exactly_representable_values_round_trip_exactly(
+        m in 0u32..2048,
+        shift in -14i32..5,
+        scale_idx in 0usize..3,
+        negate in 0u32..2,
+    ) {
+        let scale = [1.0f32, 2.0, 512.0][scale_idx];
+        let sign = if negate == 1 { -1.0f32 } else { 1.0 };
+        let scaled = sign * (m as f32) * 2.0f32.powi(shift);
+        let x = scaled / scale;
+        let y = round_trip(x, scale);
+        prop_assert_eq!(
+            y.to_bits(),
+            x.to_bits(),
+            "m={} shift={} scale={}: {} -> {}",
+            m, shift, scale, x, y
+        );
+    }
+}

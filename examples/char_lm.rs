@@ -6,7 +6,7 @@
 //! cargo run --release --example char_lm
 //! ```
 
-use zipf_lm::{train, Method, ModelKind, TrainConfig};
+use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let cfg = TrainConfig {
@@ -21,6 +21,7 @@ fn main() {
         method: Method::unique(), // §V-B: no seeding for char LMs (full softmax)
         seed: 5,
         tokens: 120_000,
+        trace: TraceConfig::off(),
     };
 
     println!(

@@ -15,7 +15,7 @@
 //! cargo run --release --example hero_tieba
 //! ```
 
-use zipf_lm::{train, Method, ModelKind, TrainConfig};
+use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     println!("Tieba weak scaling (miniature): vocab 2000, data grows with GPUs\n");
@@ -46,6 +46,7 @@ fn main() {
             method: Method::full(),
             seed: 999,
             tokens: 30_000 * data_mult,
+            trace: TraceConfig::off(),
         };
         let rep = train(&cfg).expect("training");
         let ppl = rep.final_ppl();

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zipf_lm::{train, Method, ModelKind, TrainConfig};
+use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let mut cfg = TrainConfig {
@@ -20,6 +20,7 @@ fn main() {
         method: Method::full(),
         seed: 42,
         tokens: 100_000,
+        trace: TraceConfig::off(),
     };
 
     println!(

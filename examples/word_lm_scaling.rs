@@ -7,7 +7,10 @@
 //! cargo run --release --example word_lm_scaling
 //! ```
 
-use zipf_lm::{train, train_with_memory_limit, Method, ModelKind, TrainConfig, TrainError};
+use zipf_lm::{
+    chrome_trace_json, train, train_with_faults, train_with_memory_limit, FaultPlan, Method,
+    ModelKind, TraceConfig, TrainConfig, TrainError,
+};
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
     TrainConfig {
@@ -22,6 +25,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         method,
         seed: 11,
         tokens: 300_000,
+        trace: TraceConfig::off(),
     }
 }
 
@@ -67,5 +71,36 @@ fn main() {
         "  with techniques: {}",
         verdict(train_with_memory_limit(&cfg(8, Method::full()), cap))
     );
+    // Traced rerun: 4 GPUs with rank 2 straggling 5 ms per step. Every
+    // rank records span events; the merged Chrome trace and rank 0's
+    // per-step JSONL land under target/ for inspection.
+    println!("\ntraced 4-GPU run (rank 2 straggles 5 ms/step):");
+    let mut tcfg = cfg(4, Method::full());
+    tcfg.steps_per_epoch = 8;
+    tcfg.trace = TraceConfig::on();
+    let plan = FaultPlan::none().straggle(2, std::time::Duration::from_millis(5));
+    let reports: Vec<_> = train_with_faults(&tcfg, u64::MAX / 4, &plan)
+        .into_iter()
+        .map(|r| r.expect("traced run"))
+        .collect();
+    println!(
+        "  {:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "rank", "compute ps", "wire ps", "barrier ps", "skew ps", "delay ps"
+    );
+    for (r, rep) in reports.iter().enumerate() {
+        let a = &rep.attribution;
+        println!(
+            "  {r:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            a.compute_ps, a.wire_ps, a.barrier_wait_ps, a.skew_ps, a.self_delay_ps
+        );
+    }
+    let logs: Vec<_> = reports.iter().filter_map(|rep| rep.trace.clone()).collect();
+    let _ = std::fs::create_dir_all("target");
+    let chrome = "target/word_lm_scaling.trace.json";
+    let jsonl = "target/word_lm_scaling.steps.jsonl";
+    std::fs::write(chrome, chrome_trace_json(&logs)).expect("write chrome trace");
+    std::fs::write(jsonl, reports[0].steps_jsonl()).expect("write step jsonl");
+    println!("  wrote {chrome} (open in chrome://tracing) and {jsonl}");
+
     println!("\nfull-scale (calibrated) version: `cargo run -p zlm-bench --bin repro table3`");
 }

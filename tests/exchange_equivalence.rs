@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simgpu::{CommGroup, Rank};
 use tensor::Matrix;
-use zipf_lm::{exchange_and_apply, train, ExchangeConfig, Method, ModelKind, TrainConfig};
+use zipf_lm::{
+    exchange_and_apply, train, ExchangeConfig, Method, ModelKind, TraceConfig, TrainConfig,
+};
 
 const DIM: usize = 5;
 const VOCAB: usize = 40;
@@ -170,6 +172,7 @@ fn training_trajectories_coincide() {
         method,
         seed: 31,
         tokens: 30_000,
+        trace: TraceConfig::off(),
     };
     let base = train(&mk(Method::baseline())).expect("baseline");
     let uniq = train(&mk(Method::unique())).expect("unique");

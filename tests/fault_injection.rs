@@ -11,7 +11,7 @@
 use simgpu::FaultPlan;
 use std::sync::mpsc;
 use std::time::Duration;
-use zipf_lm::{train, train_with_faults, Method, ModelKind, TrainConfig, TrainError};
+use zipf_lm::{train, train_with_faults, Method, ModelKind, TraceConfig, TrainConfig, TrainError};
 
 /// Generous bound: the whole suite's fault runs finish in well under a
 /// second; a deadlock regression would otherwise hang CI forever.
@@ -44,6 +44,7 @@ fn cfg(gpus: usize) -> TrainConfig {
         method: Method::unique(),
         seed: 7,
         tokens: 30_000,
+        trace: TraceConfig::off(),
     }
 }
 

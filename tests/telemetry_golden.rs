@@ -1,0 +1,183 @@
+//! Golden-schema tests for the two telemetry exporters. The expected
+//! strings are spelled out byte-for-byte: downstream tooling (Chrome's
+//! `chrome://tracing`, Perfetto, jq pipelines) parses these formats, so
+//! any schema drift must show up as a deliberate golden update in
+//! review, never as an accident.
+//!
+//! Inputs are hand-constructed logs/reports — wall-clock timestamps from
+//! a live run are not reproducible, the serialisation is what's under
+//! test.
+
+use zipf_lm::{
+    chrome_trace_json, ExchangeStats, SpanKind, StepMetrics, TimeAttribution, TraceEvent, TraceLog,
+    TrainReport,
+};
+
+fn ev(rank: u32, step: u64, span: SpanKind, t0: u64, t1: u64, bytes: u64) -> TraceEvent {
+    TraceEvent {
+        rank,
+        step,
+        span,
+        t_start_ns: t0,
+        t_end_ns: t1,
+        bytes,
+    }
+}
+
+/// Fixed 2-rank log set: rank 0 carries a compute + gather + barrier
+/// wait, rank 1 a compute + allreduce across two steps.
+fn fixture_logs() -> Vec<TraceLog> {
+    vec![
+        TraceLog {
+            rank: 0,
+            events: vec![
+                ev(0, 0, SpanKind::Compute, 1_000, 3_500, 0),
+                ev(0, 0, SpanKind::Gather, 3_500, 4_000, 96),
+                ev(0, 0, SpanKind::BarrierWait, 4_000, 4_750, 0),
+            ],
+            dropped: 0,
+        },
+        TraceLog {
+            rank: 1,
+            events: vec![
+                ev(1, 0, SpanKind::Compute, 900, 3_100, 0),
+                ev(1, 1, SpanKind::AllReduce, 3_100, 5_200, 128),
+            ],
+            dropped: 0,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_json_is_byte_stable() {
+    let expected = concat!(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+        // Track declarations: work track (2r) then wait track (2r+1),
+        // ascending rank order, pinned by explicit sort indices.
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"rank 0\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"sort_index\":0}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"rank 0 waits\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"sort_index\":1}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"name\":\"rank 1\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"sort_index\":2}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3,\"args\":{\"name\":\"rank 1 waits\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":3,\"args\":{\"sort_index\":3}},",
+        // Complete (\"X\") events: µs timestamps with ns precision;
+        // BarrierWait lands on the odd wait track.
+        "{\"name\":\"Compute\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":0,",
+        "\"ts\":1.000,\"dur\":2.500,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"Gather\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":0,",
+        "\"ts\":3.500,\"dur\":0.500,\"args\":{\"step\":0,\"bytes\":96}},",
+        "{\"name\":\"BarrierWait\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":1,",
+        "\"ts\":4.000,\"dur\":0.750,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"Compute\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":2,",
+        "\"ts\":0.900,\"dur\":2.200,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"AllReduce\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":2,",
+        "\"ts\":3.100,\"dur\":2.100,\"args\":{\"step\":1,\"bytes\":128}}",
+        "]}",
+    );
+    assert_eq!(chrome_trace_json(&fixture_logs()), expected);
+}
+
+#[test]
+fn chrome_trace_of_no_logs_is_an_empty_document() {
+    assert_eq!(
+        chrome_trace_json(&[]),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+    );
+}
+
+fn step(
+    idx: u64,
+    loss: f64,
+    a: TimeAttribution,
+    dense: u64,
+    in_wire: u64,
+    out_wire: Option<u64>,
+    unique_global: usize,
+) -> StepMetrics {
+    StepMetrics {
+        step: idx,
+        train_loss: loss,
+        sim_time_ps: a.total_ps(),
+        sim_time_s: a.total_ps() as f64 * 1e-12,
+        attribution: a,
+        input_exchange: ExchangeStats {
+            wire_bytes: in_wire,
+            unique_global,
+            ..Default::default()
+        },
+        output_exchange: out_wire.map(|w| ExchangeStats {
+            wire_bytes: w,
+            ..Default::default()
+        }),
+        dense_bytes: dense,
+    }
+}
+
+#[test]
+fn steps_jsonl_is_byte_stable() {
+    let mut report = TrainReport::default();
+    report.steps.push(step(
+        0,
+        5.25,
+        TimeAttribution {
+            compute_ps: 700,
+            wire_ps: 200,
+            barrier_wait_ps: 80,
+            skew_ps: 0,
+            self_delay_ps: 0,
+        },
+        4_096,
+        960,
+        Some(480),
+        37,
+    ));
+    report.steps.push(step(
+        1,
+        4.5,
+        TimeAttribution {
+            compute_ps: 700,
+            wire_ps: 190,
+            barrier_wait_ps: 0,
+            skew_ps: 6_000,
+            self_delay_ps: 0,
+        },
+        4_096,
+        950,
+        None,
+        35,
+    ));
+    // Non-finite losses must serialise as JSON null, not bare NaN.
+    report.steps.push(step(
+        2,
+        f64::NAN,
+        TimeAttribution {
+            compute_ps: 700,
+            wire_ps: 210,
+            barrier_wait_ps: 0,
+            skew_ps: 0,
+            self_delay_ps: 9_000,
+        },
+        4_096,
+        955,
+        Some(500),
+        36,
+    ));
+
+    let expected = concat!(
+        "{\"step\":0,\"train_loss\":5.25,\"sim_time_ps\":980,\"compute_ps\":700,",
+        "\"wire_ps\":200,\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,",
+        "\"dense_bytes\":4096,\"input_wire_bytes\":960,\"output_wire_bytes\":480,",
+        "\"unique_global\":37}\n",
+        "{\"step\":1,\"train_loss\":4.5,\"sim_time_ps\":6890,\"compute_ps\":700,",
+        "\"wire_ps\":190,\"barrier_wait_ps\":0,\"skew_ps\":6000,\"self_delay_ps\":0,",
+        "\"dense_bytes\":4096,\"input_wire_bytes\":950,\"output_wire_bytes\":0,",
+        "\"unique_global\":35}\n",
+        "{\"step\":2,\"train_loss\":null,\"sim_time_ps\":9910,\"compute_ps\":700,",
+        "\"wire_ps\":210,\"barrier_wait_ps\":0,\"skew_ps\":0,\"self_delay_ps\":9000,",
+        "\"dense_bytes\":4096,\"input_wire_bytes\":955,\"output_wire_bytes\":500,",
+        "\"unique_global\":36}\n",
+    );
+    assert_eq!(report.steps_jsonl(), expected);
+}

@@ -2,7 +2,10 @@
 //! §V (Figures 5, 7, 8 and the compression-accuracy spot checks), run on
 //! small configurations.
 
-use zipf_lm::{train, Method, ModelKind, SeedStrategy, TrainConfig};
+use simgpu::FaultPlan;
+use zipf_lm::{
+    train, train_with_faults, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig,
+};
 
 fn base_cfg() -> TrainConfig {
     TrainConfig {
@@ -17,6 +20,7 @@ fn base_cfg() -> TrainConfig {
         method: Method::unique_seeded(),
         seed: 42,
         tokens: 40_000,
+        trace: TraceConfig::off(),
     }
 }
 
@@ -133,6 +137,45 @@ fn simulated_time_reported_and_positive() {
     assert!(rep.total_sim_time() > 0.0);
     for s in &rep.steps {
         assert!(s.sim_time_s > 0.0);
+    }
+}
+
+#[test]
+fn synchronized_step_metrics_agree_across_ranks() {
+    // `StepMetrics` documents which fields are synchronised (identical
+    // on every rank: replicas step in lockstep on the same global batch)
+    // and which are rank-local. Pin the synchronised set bit-for-bit.
+    let mut cfg = base_cfg();
+    cfg.gpus = 4;
+    cfg.steps_per_epoch = 5;
+    cfg.epochs = 1;
+    let reps: Vec<_> = train_with_faults(&cfg, u64::MAX / 4, &FaultPlan::none())
+        .into_iter()
+        .map(|r| r.expect("rank failed"))
+        .collect();
+    assert_eq!(reps.len(), 4);
+    for rep in &reps[1..] {
+        assert_eq!(rep.steps.len(), reps[0].steps.len());
+        for (mine, r0) in rep.steps.iter().zip(&reps[0].steps) {
+            assert_eq!(mine.step, r0.step);
+            assert_eq!(mine.train_loss.to_bits(), r0.train_loss.to_bits());
+            assert_eq!(mine.sim_time_ps, r0.sim_time_ps);
+            assert_eq!(mine.sim_time_s.to_bits(), r0.sim_time_s.to_bits());
+            assert_eq!(
+                mine.input_exchange.local_tokens,
+                r0.input_exchange.local_tokens
+            );
+            assert_eq!(
+                mine.input_exchange.unique_global,
+                r0.input_exchange.unique_global
+            );
+            let (a, b) = (&mine.output_exchange, &r0.output_exchange);
+            assert_eq!(a.is_some(), b.is_some());
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.local_tokens, b.local_tokens);
+                assert_eq!(a.unique_global, b.unique_global);
+            }
+        }
     }
 }
 
