@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use zipf::{fit_power_law, heaps_curve_from_sampler, HeapsPoint, PowerLawFit};
 use zipf::{heaps::log_checkpoints, ZipfMandelbrot};
 use zipf_lm::seeding::SeedStrategy;
-use zipf_lm::{Method, ModelKind, TraceConfig, TrainConfig, TrainReport};
+use zipf_lm::{CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport};
 
 /// One dataset's type–token curve and its power-law fit (Figure 1).
 #[derive(Debug, Clone)]
@@ -126,6 +126,7 @@ fn accuracy_cfg(quick: bool) -> TrainConfig {
         seed: 42,
         tokens: if quick { 80_000 } else { 240_000 },
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 
@@ -223,6 +224,7 @@ pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
                 seed: 1234, // fixed so the validation distribution matches
                 tokens: base_tokens * data_mult,
                 trace: TraceConfig::off(),
+                checkpoint: CheckpointConfig::off(),
             };
             let report = zipf_lm::train(&cfg).expect("run");
             let ppl = report.final_ppl();
@@ -266,6 +268,7 @@ pub fn sota_comparison(quick: bool) -> SotaComparison {
         seed: 77,
         tokens: if quick { 60_000 } else { 300_000 },
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
     let report = zipf_lm::train(&cfg).expect("run");
     let our_bpc = report.epochs.last().unwrap().valid_bpc;

@@ -213,6 +213,52 @@ impl Default for TraceConfig {
     }
 }
 
+/// Opt-in periodic checkpointing (see [`crate::checkpoint`]).
+///
+/// Disabled by default. When off (`every_steps == 0`) the trainer's hot
+/// path pays a single branch per step — no snapshot buffers are
+/// allocated and no store is consulted — so the `exchange_steady` bench
+/// guard holds. When on, every rank deposits a bit-exact
+/// [`crate::checkpoint::Checkpoint`] of its training state into the
+/// run's [`crate::checkpoint::CheckpointStore`] every `every_steps`
+/// global steps, retaining the most recent `keep_last` snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Snapshot cadence in global steps; `0` disables checkpointing.
+    pub every_steps: u64,
+    /// How many snapshots each rank retains (older ones are dropped).
+    pub keep_last: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing disabled (the default): zero steady-state cost.
+    pub fn off() -> Self {
+        Self {
+            every_steps: 0,
+            keep_last: 2,
+        }
+    }
+
+    /// Checkpoint every `n` global steps at the default retention.
+    pub fn every(n: u64) -> Self {
+        Self {
+            every_steps: n,
+            ..Self::off()
+        }
+    }
+
+    /// True when periodic checkpointing is active.
+    pub fn enabled(&self) -> bool {
+        self.every_steps > 0
+    }
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Everything `train` needs.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -240,6 +286,9 @@ pub struct TrainConfig {
     pub tokens: usize,
     /// Per-rank structured tracing (off by default — zero overhead).
     pub trace: TraceConfig,
+    /// Periodic bit-exact checkpointing (off by default — zero
+    /// overhead; required for elastic recovery to restore progress).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for TrainConfig {
@@ -257,6 +306,7 @@ impl Default for TrainConfig {
             seed: 42,
             tokens: 50_000,
             trace: TraceConfig::off(),
+            checkpoint: CheckpointConfig::off(),
         }
     }
 }
@@ -296,6 +346,16 @@ mod tests {
         let on = TraceConfig::on();
         assert!(on.enabled);
         assert_eq!(on.events_per_rank, TraceConfig::off().events_per_rank);
+    }
+
+    #[test]
+    fn checkpoint_defaults_off() {
+        assert!(!TrainConfig::default().checkpoint.enabled());
+        assert_eq!(CheckpointConfig::default(), CheckpointConfig::off());
+        let every = CheckpointConfig::every(5);
+        assert!(every.enabled());
+        assert_eq!(every.every_steps, 5);
+        assert_eq!(every.keep_last, CheckpointConfig::off().keep_last);
     }
 
     #[test]

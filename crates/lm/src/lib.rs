@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use zipf_lm::{TrainConfig, TraceConfig, ModelKind, Method, train};
+//! use zipf_lm::{TrainConfig, TraceConfig, CheckpointConfig, ModelKind, Method, train};
 //! use zipf_lm::seeding::SeedStrategy;
 //!
 //! let cfg = TrainConfig {
@@ -40,10 +40,21 @@
 //!     seed: 42,
 //!     tokens: 20_000,
 //!     trace: TraceConfig::off(),
+//!     checkpoint: CheckpointConfig::off(),
 //! };
 //! let report = train(&cfg).expect("training runs");
 //! assert!(report.epochs[0].train_loss.is_finite());
 //! ```
+//!
+//! ## Elasticity
+//!
+//! Training survives rank failures: enable periodic bit-exact
+//! snapshots with `checkpoint: CheckpointConfig::every(n)` and drive
+//! the run through [`train_elastic`], which shrinks the world to the
+//! survivors after a failure and restores every remaining rank from
+//! the last consistent [`checkpoint::Checkpoint`]. Kill-and-resume at
+//! the same world size is bit-identical to an uninterrupted run; see
+//! [`elastic`] and DESIGN.md's "Failure model & recovery contract".
 //!
 //! ## Observability
 //!
@@ -56,21 +67,27 @@
 //! [`TimeAttribution`] split (compute / wire / barrier-wait / skew /
 //! self-delay) that sums to `sim_time_ps` on every rank.
 
+pub mod checkpoint;
 pub mod config;
+pub mod elastic;
 pub mod eval;
 pub mod exchange;
 pub mod metrics;
 pub mod seeding;
 pub mod trainer;
 
-pub use config::{Method, ModelKind, TraceConfig, TrainConfig};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
+pub use config::{CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+pub use elastic::{train_elastic, train_elastic_with_memory, RecoveryPolicy, TrainOutcome};
 pub use exchange::{
     exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
     ExchangeScratch, ExchangeStats, PhaseTimings,
 };
-pub use metrics::{EpochMetrics, StepMetrics, TimeAttribution, TrainReport};
+pub use metrics::{EpochMetrics, RecoveryEvent, StepMetrics, TimeAttribution, TrainReport};
 pub use seeding::SeedStrategy;
 pub use simgpu::{
     chrome_trace_json, CommError, FaultPlan, SpanKind, TraceEvent, TraceLog, TraceRecorder,
 };
-pub use trainer::{train, train_with_faults, train_with_memory_limit, TrainError};
+pub use trainer::{
+    train, train_checkpointed, train_with_faults, train_with_memory_limit, TrainError,
+};

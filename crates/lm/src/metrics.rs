@@ -1,5 +1,6 @@
 //! Training metrics and reports.
 
+use crate::checkpoint::Checkpoint;
 use crate::exchange::{ExchangeStats, PhaseTimings};
 use simgpu::{TraceLog, TrafficSnapshot};
 
@@ -89,7 +90,7 @@ pub struct StepMetrics {
 /// Per-epoch summary, collected on rank 0 only (validation is evaluated
 /// there; replicas are identical, so the values are representative —
 /// and `train_loss` / `sim_time_s` are synchronised quantities anyway).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochMetrics {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -101,6 +102,34 @@ pub struct EpochMetrics {
     pub valid_bpc: f64,
     /// Simulated seconds for the epoch.
     pub sim_time_s: f64,
+}
+
+/// One elastic-recovery round: which ranks failed, how the world
+/// shrank, and what was restored (recorded by [`crate::train_elastic`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryEvent {
+    /// 1-based restart count (the first recovery is restart 1).
+    pub restart: usize,
+    /// Ranks (in the pre-shrink numbering) whose own failure triggered
+    /// this recovery.
+    pub failed_ranks: Vec<usize>,
+    /// World size before the shrink.
+    pub world_before: usize,
+    /// World size after the shrink (`survivors.len()`).
+    pub world_after: usize,
+    /// Global step of the consistent checkpoint restored from, or
+    /// `None` when no common snapshot existed (fresh restart).
+    pub restored_step: Option<u64>,
+    /// Completed steps discarded by rolling back to the restored cut
+    /// (max survivor progress − restored step).
+    pub steps_lost: u64,
+    /// Wall-clock nanoseconds from observing the failure to relaunching
+    /// the shrunken world (includes the policy's backoff).
+    pub stall_ns: u64,
+    /// The snapshot every survivor was restored from — starting a fresh
+    /// run at the new world size from this checkpoint is bit-identical
+    /// to the recovered run (asserted in `tests/elastic_recovery.rs`).
+    pub restored_from: Option<Checkpoint>,
 }
 
 /// Result of a full training run.
@@ -125,6 +154,9 @@ pub struct TrainReport {
     /// This rank's span trace, when tracing was enabled in
     /// `TrainConfig::trace`. Export with [`simgpu::chrome_trace_json`].
     pub trace: Option<TraceLog>,
+    /// Elastic-recovery rounds survived en route to this report (empty
+    /// for non-elastic runs; filled by [`crate::train_elastic`]).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainReport {

@@ -39,6 +39,7 @@
 //! (kill-at-step, stragglers, asymmetric limits) is threaded through
 //! [`train_with_faults`]; symmetric-failure assumptions are gone.
 
+use crate::checkpoint::{Checkpoint, CheckpointMetrics, CheckpointStore, Fingerprint};
 use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
 use crate::exchange::{exchange_and_apply_traced, ExchangeConfig, ExchangeScratch, ExchangeStats};
@@ -76,6 +77,21 @@ pub enum TrainError {
         /// Why that rank failed.
         reason: String,
     },
+    /// The fault plan targets a rank outside the world, so the entry
+    /// could never fire. Rejected eagerly (before any thread spawns)
+    /// instead of silently no-opping.
+    InvalidFaultPlan {
+        /// Highest rank the plan targets.
+        rank: usize,
+        /// World size of the run.
+        world: usize,
+    },
+    /// The resume checkpoint does not belong to this run configuration
+    /// (see [`crate::checkpoint::Checkpoint::validate_against`]).
+    InvalidCheckpoint {
+        /// Human-readable mismatch description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -91,6 +107,13 @@ impl fmt::Display for TrainError {
             ),
             TrainError::PeerFailure { rank, reason } => {
                 write!(f, "training aborted: rank {rank} failed ({reason})")
+            }
+            TrainError::InvalidFaultPlan { rank, world } => write!(
+                f,
+                "fault plan targets rank {rank} but the world has only {world} ranks"
+            ),
+            TrainError::InvalidCheckpoint { reason } => {
+                write!(f, "cannot resume: {reason}")
             }
         }
     }
@@ -123,10 +146,18 @@ pub fn train(cfg: &TrainConfig) -> Result<TrainReport, TrainError> {
 /// Trains per `cfg` with each simulated GPU capped at `gpu_mem_bytes` —
 /// used to reproduce the baseline's OOM cliffs in miniature.
 ///
+/// # Error-priority contract
+///
 /// Collapses the per-rank results of [`train_with_faults`] (no faults
-/// injected) into one: the first *root-cause* error (OOM, bad data) is
-/// preferred over [`TrainError::PeerFailure`] echoes, so callers see
-/// *why* the run died, not merely that a peer did.
+/// injected) into one, and the collapse is *root-cause preferring*:
+/// when any rank reports a concrete cause ([`TrainError::Oom`],
+/// [`TrainError::DataTooSmall`], [`TrainError::InvalidFaultPlan`],
+/// [`TrainError::InvalidCheckpoint`]), that error is returned and every
+/// [`TrainError::PeerFailure`] *echo* of it is discarded. A
+/// `PeerFailure` is returned only when no rank knows a more specific
+/// reason. Callers therefore see *why* the run died, not merely that a
+/// peer did — pinned by `oom_root_cause_beats_peer_failure_echoes` in
+/// `tests/fault_injection.rs`.
 pub fn train_with_memory_limit(
     cfg: &TrainConfig,
     gpu_mem_bytes: u64,
@@ -155,14 +186,87 @@ pub fn train_with_memory_limit(
 /// it for that rank. A rank the plan kills (or one that OOMs under an
 /// asymmetric limit) poisons the communicator, so every surviving rank
 /// returns [`TrainError::PeerFailure`] naming the first failed rank
-/// within bounded time — no deadlock, every thread joins.
+/// within bounded time — no deadlock, every thread joins. The failed
+/// rank itself returns its *own* error (`Oom`, or `PeerFailure` naming
+/// itself for an injected kill), which is what makes the root-cause
+/// collapse of [`train_with_memory_limit`] possible.
+///
+/// A plan targeting a rank outside the world (`rank >= cfg.gpus`) is
+/// rejected up front with [`TrainError::InvalidFaultPlan`] on every
+/// rank — such entries could never fire, and silently ignoring them
+/// would green-light tests that believe they injected a fault.
 pub fn train_with_faults(
     cfg: &TrainConfig,
     gpu_mem_bytes: u64,
     plan: &FaultPlan,
 ) -> Vec<Result<TrainReport, TrainError>> {
+    train_inner(cfg, gpu_mem_bytes, plan, None)
+}
+
+/// [`train_with_faults`] with a checkpoint service attached: ranks
+/// deposit periodic snapshots per `cfg.checkpoint` into `store`, and —
+/// when `resume` is given — start from that snapshot instead of from
+/// scratch. The building block of [`crate::train_elastic`]; exposed so
+/// tests can drive kill/restore cycles and compare runs bit-for-bit.
+///
+/// `store` must have been created for `cfg.gpus` ranks. `resume` is
+/// validated against `cfg` (and the prepared data's effective
+/// vocabulary) before any thread spawns; a mismatch returns
+/// [`TrainError::InvalidCheckpoint`] on every rank. The snapshot's
+/// *world* size may differ from `cfg.gpus` — that is exactly the
+/// shrink-restore case — but everything else must match.
+pub fn train_checkpointed(
+    cfg: &TrainConfig,
+    gpu_mem_bytes: u64,
+    plan: &FaultPlan,
+    store: Arc<CheckpointStore>,
+    resume: Option<Arc<Checkpoint>>,
+) -> Vec<Result<TrainReport, TrainError>> {
+    train_inner(cfg, gpu_mem_bytes, plan, Some(RunRuntime { store, resume }))
+}
+
+/// Checkpoint services for one run, shared by all rank threads.
+struct RunRuntime {
+    store: Arc<CheckpointStore>,
+    resume: Option<Arc<Checkpoint>>,
+}
+
+fn train_inner(
+    cfg: &TrainConfig,
+    gpu_mem_bytes: u64,
+    plan: &FaultPlan,
+    runtime: Option<RunRuntime>,
+) -> Vec<Result<TrainReport, TrainError>> {
     assert!(cfg.gpus >= 1 && cfg.epochs >= 1);
+    if let Some(rank) = plan.max_rank_targeted().filter(|&r| r >= cfg.gpus) {
+        return (0..cfg.gpus)
+            .map(|_| {
+                Err(TrainError::InvalidFaultPlan {
+                    rank,
+                    world: cfg.gpus,
+                })
+            })
+            .collect();
+    }
     let (train_tokens, valid_tokens, model_vocab) = prepare_data(cfg);
+    if let Some(rt) = &runtime {
+        assert_eq!(
+            rt.store.world(),
+            cfg.gpus,
+            "checkpoint store sized for a different world"
+        );
+        if let Some(ck) = &rt.resume {
+            if let Err(e) = ck.validate_against(cfg, model_vocab) {
+                return (0..cfg.gpus)
+                    .map(|_| {
+                        Err(TrainError::InvalidCheckpoint {
+                            reason: e.to_string(),
+                        })
+                    })
+                    .collect();
+            }
+        }
+    }
     let train_tokens = Arc::new(train_tokens);
     let valid_tokens = Arc::new(valid_tokens);
 
@@ -191,6 +295,7 @@ pub fn train_with_faults(
 
     let mut results: Vec<Option<Result<RankOutput, TrainError>>> =
         (0..cfg.gpus).map(|_| None).collect();
+    let runtime = &runtime;
     std::thread::scope(|s| {
         let handles: Vec<_> = ranks
             .into_iter()
@@ -211,6 +316,7 @@ pub fn train_with_faults(
                         &valid_tokens,
                         &cost,
                         plan,
+                        runtime.as_ref(),
                     )
                 })
             })
@@ -373,6 +479,59 @@ impl Replica {
             Replica::Char(m) => char_valid_loss(m, tokens, batch, seq_len, EVAL_BATCHES),
         }
     }
+
+    fn param_vector(&self) -> Vec<f32> {
+        match self {
+            Replica::Word(m) => m.param_vector(),
+            Replica::Char(m) => m.param_vector(),
+        }
+    }
+
+    fn load_param_vector(&mut self, flat: &[f32]) {
+        match self {
+            Replica::Word(m) => m.load_param_vector(flat),
+            Replica::Char(m) => m.load_param_vector(flat),
+        }
+    }
+}
+
+/// Builds a bit-exact snapshot of one rank's state at a step boundary.
+/// Only deterministic quantities are captured — see the module docs of
+/// [`crate::checkpoint`] for what is deliberately excluded.
+#[allow(clippy::too_many_arguments)]
+fn take_snapshot(
+    fp: &Fingerprint,
+    world: usize,
+    rank: usize,
+    step: u64,
+    epoch: u32,
+    step_in_epoch: u64,
+    lr: f32,
+    replica: &Replica,
+    report: &TrainReport,
+    epoch_loss: f64,
+    epoch_time_ps: u64,
+    unique_sum: f64,
+    unique_count: u64,
+) -> Checkpoint {
+    Checkpoint {
+        world: world as u32,
+        rank: rank as u32,
+        step,
+        epoch,
+        step_in_epoch,
+        lr,
+        fingerprint: fp.clone(),
+        params: replica.param_vector(),
+        metrics: CheckpointMetrics {
+            epochs: report.epochs.clone(),
+            epoch_loss,
+            epoch_time_ps,
+            unique_sum,
+            unique_count,
+            attribution: report.attribution,
+        },
+    }
 }
 
 struct RankOutput {
@@ -430,6 +589,7 @@ fn run_rank(
     valid_tokens: &[u32],
     cost: &CostModel,
     plan: &FaultPlan,
+    runtime: Option<&RunRuntime>,
 ) -> Result<RankOutput, TrainError> {
     let g = cfg.gpus;
     let r = rank.rank();
@@ -470,6 +630,35 @@ fn run_rank(
     let mut global_step: u64 = 0;
     let mut unique_sum = 0.0f64;
     let mut unique_count = 0u64;
+    // Resume: restore parameters, counters, the exact learning rate and
+    // every deterministic metric accumulator from the snapshot. No RNG
+    // state exists to restore — the corpus/split were regenerated above
+    // from `cfg.seed`, and sampled-softmax streams are re-seeded from
+    // `global_step` each step — so from here the run is bit-identical
+    // to one that never stopped (asserted in `tests/elastic_recovery.rs`).
+    // Per-step telemetry (`report.steps`, traffic, traces) restarts at
+    // the resume point by design; it is wall-clock or run-local.
+    let fingerprint = runtime.map(|_| Fingerprint::of(cfg, model_vocab));
+    let mut start_epoch = 0usize;
+    let mut resume_skip = 0usize;
+    let mut resume_epoch_loss = 0.0f64;
+    let mut resume_epoch_time_ps = 0u64;
+    let resuming = if let Some(ck) = runtime.and_then(|rt| rt.resume.as_deref()) {
+        replica.load_param_vector(&ck.params);
+        lr = ck.lr;
+        global_step = ck.step;
+        start_epoch = ck.epoch as usize;
+        resume_skip = ck.step_in_epoch as usize;
+        resume_epoch_loss = ck.metrics.epoch_loss;
+        resume_epoch_time_ps = ck.metrics.epoch_time_ps;
+        report.epochs = ck.metrics.epochs.clone();
+        report.attribution = ck.metrics.attribution;
+        unique_sum = ck.metrics.unique_sum;
+        unique_count = ck.metrics.unique_count;
+        true
+    } else {
+        false
+    };
     // Per-table scratch pools: after the first step every exchange runs
     // allocation-free on reused buffers.
     let mut in_scratch = ExchangeScratch::new();
@@ -488,17 +677,37 @@ fn run_rank(
         })
         .collect();
 
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         let mut iter = shard_batches(train_tokens, spec, r, g);
         let steps = if cfg.steps_per_epoch > 0 {
             cfg.steps_per_epoch
         } else {
             iter.len()
         };
-        let mut epoch_loss = 0.0f64;
-        let mut epoch_time_ps = 0u64;
+        let resumed_here = resuming && epoch == start_epoch;
+        let first_step = if resumed_here {
+            resume_skip.min(steps)
+        } else {
+            0
+        };
+        let (mut epoch_loss, mut epoch_time_ps) = if resumed_here {
+            (resume_epoch_loss, resume_epoch_time_ps)
+        } else {
+            (0.0f64, 0u64)
+        };
+        if first_step > 0 {
+            // Re-entering mid-epoch: discarding `first_step mod len`
+            // batches from a fresh iterator lands on exactly the batch
+            // the interrupted run would have drawn next (the shard
+            // iterator is recreated whenever it drains, so positions
+            // are periodic in its length).
+            let len = iter.len().max(1);
+            for _ in 0..first_step % len {
+                iter.next();
+            }
+        }
 
-        for _ in 0..steps {
+        for s in first_step..steps {
             if plan.should_die(r, global_step as usize) {
                 let reason = format!("rank {r} killed by fault plan at step {global_step}");
                 rank.abort(reason.clone());
@@ -689,6 +898,31 @@ fn run_rank(
                 dense_bytes,
             });
             global_step += 1;
+
+            // Checkpoint hooks: off the hot path unless a store is
+            // attached (plain `train` passes none — one branch per
+            // step, satisfying the zero-overhead-when-off guard).
+            if let Some(rt) = runtime {
+                rt.store.note_progress(r, global_step);
+                let every = cfg.checkpoint.every_steps;
+                if every > 0 && global_step.is_multiple_of(every) {
+                    rt.store.deposit(take_snapshot(
+                        fingerprint.as_ref().unwrap(),
+                        g,
+                        r,
+                        global_step,
+                        epoch as u32,
+                        (s + 1) as u64,
+                        lr,
+                        &replica,
+                        &report,
+                        epoch_loss,
+                        epoch_time_ps,
+                        unique_sum,
+                        unique_count,
+                    ));
+                }
+            }
         }
 
         // Validation on rank 0 only: replicas are identical, evaluation
@@ -718,6 +952,28 @@ fn run_rank(
         0.0
     };
     report.trace = recorder.map(TraceRecorder::finish);
+    // Terminal snapshot: the run's exact final state (params + full
+    // epoch history). Rank 0's copy is authoritative — it alone carries
+    // the validation history — and resuming from it is a no-op run.
+    if let Some(rt) = runtime {
+        if is_rank0 {
+            rt.store.set_final(take_snapshot(
+                fingerprint.as_ref().unwrap(),
+                g,
+                r,
+                global_step,
+                cfg.epochs as u32,
+                0,
+                lr,
+                &replica,
+                &report,
+                0.0,
+                0,
+                unique_sum,
+                unique_count,
+            ));
+        }
+    }
     guard.disarm();
     Ok(RankOutput { report })
 }
@@ -730,7 +986,7 @@ const SAMPLE_SEED: u64 = 0x5eed_5eed_5eed_5eed;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Method, TraceConfig};
+    use crate::config::{CheckpointConfig, Method, TraceConfig};
     use crate::seeding::SeedStrategy;
 
     fn quick_cfg(model: ModelKind, gpus: usize, method: Method) -> TrainConfig {
@@ -747,6 +1003,7 @@ mod tests {
             seed: 7,
             tokens: 30_000,
             trace: TraceConfig::off(),
+            checkpoint: CheckpointConfig::off(),
         }
     }
 

@@ -85,6 +85,26 @@ impl Linear {
         out.extend_from_slice(&grads.db);
     }
 
+    /// Appends the layer's parameters `(w, b)` to `out`, in the same
+    /// fixed layout as [`Linear::flatten_grads`] — the basis of
+    /// bit-exact checkpoint snapshots.
+    pub fn flatten_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w.as_slice());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Overwrites the layer's parameters from `flat` at `offset` (the
+    /// [`Linear::flatten_params`] layout); returns the new offset.
+    pub fn load_params(&mut self, flat: &[f32], offset: usize) -> usize {
+        let nw = self.w.len();
+        let nb = self.b.len();
+        self.w
+            .as_mut_slice()
+            .copy_from_slice(&flat[offset..offset + nw]);
+        self.b.copy_from_slice(&flat[offset + nw..offset + nw + nb]);
+        offset + nw + nb
+    }
+
     /// Reads gradients back from the flat buffer at `offset`; returns the
     /// new offset.
     pub fn unflatten_grads(&self, flat: &[f32], offset: usize, grads: &mut LinearGrads) -> usize {

@@ -235,6 +235,32 @@ impl LstmLayer {
         out.extend_from_slice(&grads.db);
     }
 
+    /// Appends the layer's parameters `(wx, wh, b)` to `out`, in the
+    /// same fixed layout as [`LstmLayer::flatten_grads`] — the basis of
+    /// bit-exact checkpoint snapshots.
+    pub fn flatten_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.wx.as_slice());
+        out.extend_from_slice(self.wh.as_slice());
+        out.extend_from_slice(&self.b);
+    }
+
+    /// Overwrites the layer's parameters from `flat` at `offset` (the
+    /// [`LstmLayer::flatten_params`] layout); returns the new offset.
+    pub fn load_params(&mut self, flat: &[f32], offset: usize) -> usize {
+        let nwx = self.wx.len();
+        let nwh = self.wh.len();
+        let nb = self.b.len();
+        self.wx
+            .as_mut_slice()
+            .copy_from_slice(&flat[offset..offset + nwx]);
+        self.wh
+            .as_mut_slice()
+            .copy_from_slice(&flat[offset + nwx..offset + nwx + nwh]);
+        self.b
+            .copy_from_slice(&flat[offset + nwx + nwh..offset + nwx + nwh + nb]);
+        offset + nwx + nwh + nb
+    }
+
     /// Restores gradients from the flat buffer; returns the new offset.
     pub fn unflatten_grads(&self, flat: &[f32], offset: usize, grads: &mut LstmGrads) -> usize {
         let nwx = self.wx.len();

@@ -252,6 +252,46 @@ impl WordLm {
         full_softmax_eval_loss(&p_all, &batch.targets, &self.out_embed)
     }
 
+    /// Number of f32 values in a [`WordLm::param_vector`] snapshot.
+    pub fn param_vector_len(&self) -> usize {
+        self.embed.weights().len()
+            + self.lstm.param_count()
+            + self.proj.param_count()
+            + self.out_embed.weights().len()
+    }
+
+    /// Snapshots every parameter into one flat vector in a fixed layout
+    /// (input embedding, LSTM, projection, output embedding). The bytes
+    /// of the result are the model's exact state: loading them back via
+    /// [`WordLm::load_param_vector`] is a bit-identical restore.
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_vector_len());
+        out.extend_from_slice(self.embed.weights().as_slice());
+        self.lstm.flatten_params(&mut out);
+        self.proj.flatten_params(&mut out);
+        out.extend_from_slice(self.out_embed.weights().as_slice());
+        debug_assert_eq!(out.len(), self.param_vector_len());
+        out
+    }
+
+    /// Restores every parameter from a [`WordLm::param_vector`]
+    /// snapshot. Panics if `flat` has the wrong length for this
+    /// architecture.
+    pub fn load_param_vector(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_vector_len(), "param size mismatch");
+        let ne = self.embed.weights().len();
+        self.embed
+            .weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat[..ne]);
+        let off = self.lstm.load_params(flat, ne);
+        let off = self.proj.load_params(flat, off);
+        self.out_embed
+            .weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat[off..]);
+    }
+
     /// Applies the flat dense gradient with SGD at rate `lr`.
     pub fn apply_dense(&mut self, flat: &[f32], lr: f32) {
         assert_eq!(flat.len(), self.dense_param_count(), "dense size mismatch");
@@ -435,6 +475,38 @@ impl CharLm {
         softmax_cross_entropy(&logits, &batch.targets).loss
     }
 
+    /// Number of f32 values in a [`CharLm::param_vector`] snapshot.
+    pub fn param_vector_len(&self) -> usize {
+        self.embed.weights().len() + self.rhn.param_count() + self.out.param_count()
+    }
+
+    /// Snapshots every parameter into one flat vector in a fixed layout
+    /// (input embedding, RHN, output layer) — see
+    /// [`WordLm::param_vector`].
+    pub fn param_vector(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_vector_len());
+        out.extend_from_slice(self.embed.weights().as_slice());
+        self.rhn.flatten_params(&mut out);
+        self.out.flatten_params(&mut out);
+        debug_assert_eq!(out.len(), self.param_vector_len());
+        out
+    }
+
+    /// Restores every parameter from a [`CharLm::param_vector`]
+    /// snapshot. Panics if `flat` has the wrong length for this
+    /// architecture.
+    pub fn load_param_vector(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_vector_len(), "param size mismatch");
+        let ne = self.embed.weights().len();
+        self.embed
+            .weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat[..ne]);
+        let off = self.rhn.load_params(flat, ne);
+        let end = self.out.load_params(flat, off);
+        debug_assert_eq!(end, flat.len());
+    }
+
     /// Applies the flat dense gradient with SGD at rate `lr`.
     pub fn apply_dense(&mut self, flat: &[f32], lr: f32) {
         assert_eq!(flat.len(), self.dense_param_count(), "dense size mismatch");
@@ -573,6 +645,47 @@ mod tests {
         let g = m.forward_backward(&batch);
         let e = m.eval_loss(&batch);
         assert!((g.loss - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn word_lm_param_vector_round_trips_bitwise() {
+        let cfg = WordLmConfig::small(80);
+        let src = WordLm::new(9, cfg);
+        let snap = src.param_vector();
+        assert_eq!(snap.len(), src.param_vector_len());
+        // A differently-initialised model becomes bit-identical on load.
+        let mut dst = WordLm::new(10, cfg);
+        assert_ne!(
+            src.input_embedding().weights().as_slice(),
+            dst.input_embedding().weights().as_slice()
+        );
+        dst.load_param_vector(&snap);
+        let back = dst.param_vector();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&snap), bits(&back));
+        // Behavioural identity, not just byte identity.
+        let batch = toy_batch(80, 3, 5, 4);
+        assert_eq!(
+            src.eval_loss(&batch).to_bits(),
+            dst.eval_loss(&batch).to_bits()
+        );
+    }
+
+    #[test]
+    fn char_lm_param_vector_round_trips_bitwise() {
+        let cfg = CharLmConfig::small(40);
+        let src = CharLm::new(3, cfg);
+        let snap = src.param_vector();
+        assert_eq!(snap.len(), src.param_vector_len());
+        let mut dst = CharLm::new(4, cfg);
+        dst.load_param_vector(&snap);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&snap), bits(&dst.param_vector()));
+        let batch = toy_batch(40, 2, 6, 8);
+        assert_eq!(
+            src.eval_loss(&batch).to_bits(),
+            dst.eval_loss(&batch).to_bits()
+        );
     }
 
     #[test]

@@ -285,6 +285,38 @@ impl RhnLayer {
         }
     }
 
+    /// Appends the layer's parameters to `out`, in the same fixed
+    /// layout as [`RhnLayer::flatten_grads`] — the basis of bit-exact
+    /// checkpoint snapshots.
+    pub fn flatten_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.wx_h.as_slice());
+        out.extend_from_slice(self.wx_t.as_slice());
+        for l in 0..self.depth() {
+            out.extend_from_slice(self.r_h[l].as_slice());
+            out.extend_from_slice(self.r_t[l].as_slice());
+            out.extend_from_slice(&self.b_h[l]);
+            out.extend_from_slice(&self.b_t[l]);
+        }
+    }
+
+    /// Overwrites the layer's parameters from `flat` at `offset` (the
+    /// [`RhnLayer::flatten_params`] layout); returns the new offset.
+    pub fn load_params(&mut self, flat: &[f32], mut offset: usize) -> usize {
+        let mut take = |dst: &mut [f32]| {
+            dst.copy_from_slice(&flat[offset..offset + dst.len()]);
+            offset += dst.len();
+        };
+        take(self.wx_h.as_mut_slice());
+        take(self.wx_t.as_mut_slice());
+        for l in 0..self.r_h.len() {
+            take(self.r_h[l].as_mut_slice());
+            take(self.r_t[l].as_mut_slice());
+            take(&mut self.b_h[l]);
+            take(&mut self.b_t[l]);
+        }
+        offset
+    }
+
     /// Restores gradients from the flat buffer; returns the new offset.
     pub fn unflatten_grads(&self, flat: &[f32], mut offset: usize, grads: &mut RhnGrads) -> usize {
         let take = |flat: &[f32], offset: &mut usize, n: usize| -> std::ops::Range<usize> {

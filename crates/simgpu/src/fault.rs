@@ -35,6 +35,12 @@ use std::time::Duration;
 pub struct FaultPlan {
     /// rank → first step index at which the rank dies (inclusive).
     kills: BTreeMap<usize, usize>,
+    /// rank → first step index at which the rank dies *once*: unlike
+    /// `kills`, a transient kill is consumed by recovery (the elastic
+    /// driver drops it from the follow-up plan and renumbers the rest),
+    /// so a resumed run proceeds without the dead rank instead of
+    /// re-triggering the same fault forever.
+    transient_kills: BTreeMap<usize, usize>,
     /// rank → artificial delay injected at the top of every step.
     stragglers: BTreeMap<usize, Duration>,
     /// rank → device capacity override in bytes.
@@ -50,7 +56,10 @@ impl FaultPlan {
 
     /// True when the plan injects no fault on any rank.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.stragglers.is_empty() && self.mem_limits.is_empty()
+        self.kills.is_empty()
+            && self.transient_kills.is_empty()
+            && self.stragglers.is_empty()
+            && self.mem_limits.is_empty()
     }
 
     /// Kill `rank` at the start of global step `step` (0-based). The
@@ -58,6 +67,25 @@ impl FaultPlan {
     /// poisoning the group so peers observe the failure.
     pub fn kill_rank(mut self, rank: usize, step: usize) -> Self {
         self.kills.insert(rank, step);
+        self
+    }
+
+    /// Kill `rank` at the start of global step `step` (0-based), *once*.
+    ///
+    /// The fault itself is indistinguishable from [`FaultPlan::kill_rank`]
+    /// inside one run — the rank aborts and poisons the group. The
+    /// difference is elastic-recovery semantics: a transient kill is a
+    /// one-shot *event* keyed to this rank's identity. After the elastic
+    /// driver shrinks the world to the survivors, the triggered entry is
+    /// consumed and the remaining transient kills are renumbered to the
+    /// survivors' new ranks (see `FaultPlan::remap_for_survivors`), so
+    /// multi-failure schedules can be scripted against the original
+    /// world. Permanent faults (`kill_rank`, `straggle`,
+    /// `limit_rank_memory`) instead stay keyed to the rank *slot* and
+    /// re-apply to whichever rank occupies it after the shrink — a
+    /// persistently bad node rather than a one-off crash.
+    pub fn kill_rank_transient(mut self, rank: usize, step: usize) -> Self {
+        self.transient_kills.insert(rank, step);
         self
     }
 
@@ -77,9 +105,72 @@ impl FaultPlan {
         self
     }
 
-    /// Whether `rank` is scheduled to die at or before `step`.
+    /// Whether `rank` is scheduled to die at or before `step` (by a
+    /// permanent or a transient kill).
     pub fn should_die(&self, rank: usize, step: usize) -> bool {
         self.kills.get(&rank).is_some_and(|&k| step >= k)
+            || self.transient_kills.get(&rank).is_some_and(|&k| step >= k)
+    }
+
+    /// The step at which a *transient* kill is scheduled for `rank`.
+    pub fn transient_kill_at(&self, rank: usize) -> Option<usize> {
+        self.transient_kills.get(&rank).copied()
+    }
+
+    /// The highest rank any entry of the plan targets, or `None` for an
+    /// empty plan. Callers that know the world size use this to reject
+    /// plans that would otherwise silently no-op (a kill/straggle/limit
+    /// on `rank >= world` never fires).
+    pub fn max_rank_targeted(&self) -> Option<usize> {
+        [
+            self.kills.keys().next_back(),
+            self.transient_kills.keys().next_back(),
+            self.stragglers.keys().next_back(),
+            self.mem_limits.keys().next_back(),
+        ]
+        .into_iter()
+        .flatten()
+        .max()
+        .copied()
+    }
+
+    /// The follow-up plan after an elastic shrink to `survivors` (old
+    /// rank ids, ascending — the new rank of old rank `r` is its index
+    /// in the slice).
+    ///
+    /// * **Transient kills** are events keyed to rank identity: entries
+    ///   whose rank died (is not a survivor) are consumed; the rest are
+    ///   renumbered to the survivors' new ranks.
+    /// * **Permanent faults** (`kill_rank`, `straggle`,
+    ///   `limit_rank_memory`) model bad *slots* and are kept under their
+    ///   original keys; entries beyond the shrunken world (slots that no
+    ///   longer exist) are dropped so the follow-up plan stays valid.
+    pub fn remap_for_survivors(&self, survivors: &[usize]) -> FaultPlan {
+        debug_assert!(survivors.windows(2).all(|w| w[0] < w[1]), "unsorted");
+        let world = survivors.len();
+        let slot_keyed = |m: &BTreeMap<usize, usize>| -> BTreeMap<usize, usize> {
+            m.range(..world).map(|(&r, &v)| (r, v)).collect()
+        };
+        FaultPlan {
+            kills: slot_keyed(&self.kills),
+            transient_kills: self
+                .transient_kills
+                .iter()
+                .filter_map(|(&r, &step)| {
+                    survivors.binary_search(&r).ok().map(|new_r| (new_r, step))
+                })
+                .collect(),
+            stragglers: self
+                .stragglers
+                .range(..world)
+                .map(|(&r, &d)| (r, d))
+                .collect(),
+            mem_limits: self
+                .mem_limits
+                .range(..world)
+                .map(|(&r, &b)| (r, b))
+                .collect(),
+        }
     }
 
     /// The straggler delay for `rank`, if any.
@@ -118,6 +209,56 @@ mod tests {
         assert!(plan.should_die(2, 5));
         assert!(plan.should_die(2, 99));
         assert!(!plan.should_die(1, 99), "other ranks unaffected");
+    }
+
+    #[test]
+    fn transient_kill_triggers_like_permanent_within_a_run() {
+        let plan = FaultPlan::none().kill_rank_transient(1, 4);
+        assert!(!plan.is_empty());
+        assert!(!plan.should_die(1, 3));
+        assert!(plan.should_die(1, 4));
+        assert!(plan.should_die(1, 10));
+        assert_eq!(plan.transient_kill_at(1), Some(4));
+        assert_eq!(plan.transient_kill_at(0), None);
+    }
+
+    #[test]
+    fn max_rank_targeted_spans_all_fault_kinds() {
+        assert_eq!(FaultPlan::none().max_rank_targeted(), None);
+        let plan = FaultPlan::none()
+            .kill_rank(1, 0)
+            .kill_rank_transient(5, 2)
+            .straggle(3, Duration::from_millis(1))
+            .limit_rank_memory(2, 64);
+        assert_eq!(plan.max_rank_targeted(), Some(5));
+    }
+
+    #[test]
+    fn remap_consumes_dead_transients_and_renumbers_the_rest() {
+        // World 4: transient kills on ranks 2 (dies) and 3 (pending).
+        let plan = FaultPlan::none()
+            .kill_rank_transient(2, 1)
+            .kill_rank_transient(3, 7);
+        let next = plan.remap_for_survivors(&[0, 1, 3]);
+        // Rank 2's entry is consumed; old rank 3 is new rank 2.
+        assert_eq!(next.transient_kill_at(2), Some(7));
+        assert!(!next.should_die(0, 100));
+        assert!(!next.should_die(1, 100));
+        assert_eq!(next.max_rank_targeted(), Some(2));
+    }
+
+    #[test]
+    fn remap_keeps_slot_keyed_faults_and_drops_vanished_slots() {
+        let plan = FaultPlan::none()
+            .kill_rank(0, 9)
+            .straggle(1, Duration::from_millis(2))
+            .limit_rank_memory(3, 1024);
+        // Shrink 4 → 2: slots 0 and 1 remain, slot 3 no longer exists.
+        let next = plan.remap_for_survivors(&[0, 2]);
+        assert!(next.should_die(0, 9), "slot-keyed kill persists");
+        assert_eq!(next.straggler_delay(1), Some(Duration::from_millis(2)));
+        assert_eq!(next.mem_limit(3), None, "vanished slot dropped");
+        assert_eq!(next.max_rank_targeted(), Some(1));
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum SpanKind {
     StragglerDelay,
     /// Application of the synchronised update to the local table.
     Apply,
+    /// Elastic-recovery stall: wall-clock between a failure being
+    /// observed and the shrunken world resuming from a checkpoint
+    /// (appended by the recovery driver, not recorded on the hot path).
+    Recovery,
 }
 
 impl SpanKind {
@@ -59,6 +63,7 @@ impl SpanKind {
             SpanKind::BarrierWait => "BarrierWait",
             SpanKind::StragglerDelay => "StragglerDelay",
             SpanKind::Apply => "Apply",
+            SpanKind::Recovery => "Recovery",
         }
     }
 }

@@ -6,7 +6,7 @@
 //! cargo run --release --example char_lm
 //! ```
 
-use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let cfg = TrainConfig {
@@ -22,6 +22,7 @@ fn main() {
         seed: 5,
         tokens: 120_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
 
     println!(

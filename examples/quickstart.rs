@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let mut cfg = TrainConfig {
@@ -21,6 +21,7 @@ fn main() {
         seed: 42,
         tokens: 100_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
 
     println!(

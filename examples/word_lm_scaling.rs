@@ -8,8 +8,8 @@
 //! ```
 
 use zipf_lm::{
-    chrome_trace_json, train, train_with_faults, train_with_memory_limit, FaultPlan, Method,
-    ModelKind, TraceConfig, TrainConfig, TrainError,
+    chrome_trace_json, train, train_with_faults, train_with_memory_limit, CheckpointConfig,
+    FaultPlan, Method, ModelKind, TraceConfig, TrainConfig, TrainError,
 };
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
@@ -26,6 +26,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         seed: 11,
         tokens: 300_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 

@@ -1,0 +1,201 @@
+//! Property tests for checkpoint determinism — the foundation the
+//! elastic-recovery bit-identity guarantees stand on:
+//!
+//! * serialize → deserialize → serialize is the **identity on bytes**
+//!   for any checkpoint, including arbitrary `f32`/`f64` bit patterns
+//!   (NaNs, negative zero, subnormals) in the parameter vector;
+//! * two identical runs deposit **byte-equal** checkpoints at every
+//!   `(rank, step)` — snapshots are a pure function of config + seed,
+//!   with no wall-clock or allocation-order leakage;
+//! * across every `Method` preset and world size, every deposited
+//!   checkpoint round-trips bitwise.
+
+use proptest::prelude::*;
+use simgpu::FaultPlan;
+use std::sync::Arc;
+use zipf_lm::checkpoint::{Checkpoint, CheckpointMetrics, Fingerprint};
+use zipf_lm::{
+    train_checkpointed, CheckpointConfig, CheckpointStore, EpochMetrics, Method, ModelKind,
+    TimeAttribution, TraceConfig, TrainConfig,
+};
+
+/// Unconstrained device capacity (mirrors the trainer's own default).
+const UNLIMITED: u64 = u64::MAX / 4;
+
+const METHODS: [fn() -> Method; 3] = [Method::baseline, Method::unique_seeded, Method::full];
+const WORLDS: [usize; 3] = [1, 2, 4];
+
+fn run_cfg(model: ModelKind, gpus: usize, method: Method, seed: u64) -> TrainConfig {
+    TrainConfig {
+        model,
+        gpus,
+        batch: 2,
+        seq_len: 6,
+        steps_per_epoch: 4,
+        epochs: 1,
+        base_lr: 0.3,
+        lr_decay: 0.95,
+        method,
+        seed,
+        tokens: 20_000,
+        trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig {
+            every_steps: 2,
+            keep_last: 4,
+        },
+    }
+}
+
+/// Runs training once and returns every deposited checkpoint's bytes,
+/// keyed by (rank, step), plus the terminal snapshot's bytes.
+fn checkpoint_bytes(cfg: &TrainConfig) -> (Vec<(usize, u64, Vec<u8>)>, Vec<u8>) {
+    let store = Arc::new(CheckpointStore::new(cfg.gpus, cfg.checkpoint.keep_last));
+    let results = train_checkpointed(cfg, UNLIMITED, &FaultPlan::none(), store.clone(), None);
+    for (r, res) in results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {r} failed: {:?}", res.as_ref().err());
+    }
+    let mut out = Vec::new();
+    for rank in 0..cfg.gpus {
+        for ck in store.deposited(rank) {
+            out.push((rank, ck.step, ck.to_bytes()));
+        }
+    }
+    (
+        out,
+        store.take_final().expect("terminal snapshot").to_bytes(),
+    )
+}
+
+/// Builds a checkpoint whose every float field is a raw bit pattern
+/// derived from `mix` (a full-range u64) and `params` (full-range u32
+/// bits) — NaN payloads, negative zero and subnormals all occur and
+/// must survive the wire unchanged.
+fn synth_checkpoint(params: Vec<u32>, mix: u64, world: u32, rank: u32, step: u64) -> Checkpoint {
+    let f64_at = |k: u32| f64::from_bits(mix.rotate_left(k));
+    let u64_at = |k: u32| mix.rotate_left(k);
+    let epochs = (0..(mix % 4) as usize)
+        .map(|i| EpochMetrics {
+            epoch: i,
+            train_loss: f64_at(3 + i as u32),
+            valid_ppl: f64_at(17 + i as u32),
+            valid_bpc: f64_at(29 + i as u32),
+            sim_time_s: f64_at(43 + i as u32),
+        })
+        .collect();
+    Checkpoint {
+        world,
+        rank,
+        step,
+        epoch: (mix >> 7) as u32,
+        step_in_epoch: u64_at(9),
+        lr: f32::from_bits(mix as u32),
+        fingerprint: Fingerprint {
+            seed: mix,
+            model_tag: (mix % 2) as u8,
+            vocab: u64_at(11),
+            embed_dim: u64_at(13),
+            hidden: u64_at(19),
+            proj_dim: u64_at(23),
+            samples: u64_at(31),
+            depth: u64_at(37),
+            unique: mix & 1 == 0,
+            seeding: (mix % 6) as u8,
+            compression: if mix & 2 == 0 {
+                None
+            } else {
+                Some(f32::from_bits((mix >> 16) as u32))
+            },
+            batch: u64_at(41),
+            seq_len: u64_at(47),
+            steps_per_epoch: u64_at(53),
+            epochs: u64_at(59),
+            base_lr: f32::from_bits((mix >> 8) as u32),
+            lr_decay: f32::from_bits((mix >> 24) as u32),
+            tokens: u64_at(61),
+        },
+        params: params.into_iter().map(f32::from_bits).collect(),
+        metrics: CheckpointMetrics {
+            epochs,
+            epoch_loss: f64_at(5),
+            epoch_time_ps: u64_at(25),
+            unique_sum: f64_at(15),
+            unique_count: u64_at(35),
+            attribution: TimeAttribution {
+                compute_ps: u64_at(1),
+                wire_ps: u64_at(2),
+                barrier_wait_ps: u64_at(4),
+                skew_ps: u64_at(6),
+                self_delay_ps: u64_at(8),
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → deserialize → serialize is the identity on bytes
+    /// for arbitrary contents, including every special float class.
+    #[test]
+    fn byte_round_trip_is_identity_on_arbitrary_contents(
+        params in proptest::collection::vec(0u32..=u32::MAX, 0..64),
+        mix in 0u64..=u64::MAX,
+        world in 0u32..=u32::MAX,
+        rank in 0u32..=u32::MAX,
+        step in 0u64..=u64::MAX,
+    ) {
+        let ck = synth_checkpoint(params, mix, world, rank, step);
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("own bytes parse");
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Truncating a valid buffer anywhere must yield a typed error,
+    /// never a panic or a silently-wrong checkpoint.
+    #[test]
+    fn truncation_never_panics(
+        params in proptest::collection::vec(0u32..=u32::MAX, 0..32),
+        mix in 0u64..=u64::MAX,
+        cut in 0usize..1_000_000,
+    ) {
+        let ck = synth_checkpoint(params, mix, 4, 1, 10);
+        let bytes = ck.to_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+proptest! {
+    // Each case trains twice: keep the case count small but meaningful.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Two identical runs deposit byte-equal checkpoints at every
+    /// (rank, step), for arbitrary seeds, every `Method` preset, both
+    /// model kinds, and worlds 1/2/4.
+    #[test]
+    fn identical_runs_deposit_byte_equal_checkpoints(
+        method_idx in 0usize..3,
+        world_idx in 0usize..3,
+        word in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let model = if word == 1 {
+            ModelKind::Word { vocab: 200 }
+        } else {
+            ModelKind::Char { vocab: 64 }
+        };
+        let cfg = run_cfg(model, WORLDS[world_idx], METHODS[method_idx](), seed);
+        let (a, fin_a) = checkpoint_bytes(&cfg);
+        let (b, fin_b) = checkpoint_bytes(&cfg);
+        prop_assert!(!a.is_empty(), "cadence 2 over 4 steps must deposit");
+        prop_assert_eq!(a.len(), b.len());
+        for ((rank_a, step_a, bytes_a), (rank_b, step_b, bytes_b)) in a.iter().zip(&b) {
+            prop_assert_eq!((rank_a, step_a), (rank_b, step_b));
+            prop_assert_eq!(bytes_a, bytes_b, "rank {} step {} differs", rank_a, step_a);
+            // And each deposited snapshot round-trips bitwise.
+            let back = Checkpoint::from_bytes(bytes_a).expect("parses");
+            prop_assert_eq!(&back.to_bytes(), bytes_a);
+        }
+        prop_assert_eq!(fin_a, fin_b, "terminal snapshots differ");
+    }
+}

@@ -1,0 +1,290 @@
+//! Elastic recovery end-to-end: bit-exact checkpoint/restore and
+//! shrink-to-survivors recovery from injected rank failures.
+//!
+//! The headline invariants:
+//!
+//! * **Kill-and-resume at the same world size is bit-identical to an
+//!   uninterrupted run** — final parameters, per-epoch losses, and in
+//!   fact the entire terminal checkpoint byte-for-byte.
+//! * **A shrink-recovered run at `G'` is bit-identical to a fresh `G'`
+//!   run started from the same restored snapshot** — recovery adds no
+//!   hidden state beyond the checkpoint.
+//!
+//! Every scenario runs under the fault-injection watchdog: a recovery
+//! regression that deadlocks fails in seconds instead of hanging CI.
+
+use simgpu::{FaultPlan, SpanKind};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use zipf_lm::{
+    train_checkpointed, train_elastic, CheckpointConfig, CheckpointStore, Method, ModelKind,
+    RecoveryPolicy, TraceConfig, TrainConfig, TrainError,
+};
+
+const WATCHDOG_SECS: u64 = 60;
+
+/// Unconstrained device capacity (mirrors the trainer's own default).
+const UNLIMITED: u64 = u64::MAX / 4;
+
+fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    // Deliberately not scoped: if `f` deadlocks, the thread is leaked
+    // and the test fails fast instead of blocking `cargo test`.
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(WATCHDOG_SECS))
+        .expect("watchdog expired: elastic recovery deadlocked")
+}
+
+/// Two epochs of six steps with a snapshot every other step — small
+/// enough to run many scenarios, long enough to kill mid-epoch-1 and
+/// resume across the epoch boundary.
+fn cfg(gpus: usize) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Word { vocab: 200 },
+        gpus,
+        batch: 2,
+        seq_len: 6,
+        steps_per_epoch: 6,
+        epochs: 2,
+        base_lr: 0.3,
+        lr_decay: 0.95,
+        method: Method::unique_seeded(),
+        seed: 7,
+        tokens: 30_000,
+        trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig {
+            every_steps: 2,
+            keep_last: 8,
+        },
+    }
+}
+
+/// Kill a rank mid-epoch-1, restore every rank (same world) from the
+/// last consistent checkpoint, and finish. The result must be
+/// bit-identical to never having failed: equal per-epoch metrics and a
+/// byte-equal terminal checkpoint (parameters, exact learning rate,
+/// every deterministic accumulator).
+fn same_world_kill_and_resume(gpus: usize) {
+    let (fin_a, epochs_a, fin_b, epochs_b, restored_step) = with_watchdog(move || {
+        let c = cfg(gpus);
+
+        // Reference: uninterrupted run.
+        let store_a = Arc::new(CheckpointStore::new(gpus, c.checkpoint.keep_last));
+        let res_a = train_checkpointed(&c, UNLIMITED, &FaultPlan::none(), store_a.clone(), None);
+        let rep_a = res_a[0].as_ref().expect("uninterrupted run").clone();
+        let fin_a = store_a.take_final().expect("terminal snapshot");
+
+        // Interrupted: the last rank dies at global step 8 (epoch 1,
+        // step 2) — every rank errors out.
+        let store_b = Arc::new(CheckpointStore::new(gpus, c.checkpoint.keep_last));
+        let plan = FaultPlan::none().kill_rank_transient(gpus - 1, 8);
+        let res_b = train_checkpointed(&c, UNLIMITED, &plan, store_b.clone(), None);
+        assert!(res_b.iter().all(|r| r.is_err()), "kill fails the group");
+        assert!(store_b.take_final().is_none(), "no terminal snapshot");
+
+        // Resume the full world from the newest snapshot all ranks hold.
+        let all: Vec<usize> = (0..gpus).collect();
+        let ck = store_b
+            .latest_consistent(&all)
+            .expect("consistent checkpoint exists");
+        let restored_step = ck.step;
+        let store_c = Arc::new(CheckpointStore::new(gpus, c.checkpoint.keep_last));
+        let res_c = train_checkpointed(
+            &c,
+            UNLIMITED,
+            &FaultPlan::none(),
+            store_c.clone(),
+            Some(Arc::new(ck)),
+        );
+        let rep_c = res_c[0].as_ref().expect("resumed run").clone();
+        let fin_c = store_c.take_final().expect("terminal snapshot");
+        (fin_a, rep_a.epochs, fin_c, rep_c.epochs, restored_step)
+    });
+
+    // The kill fired at step 8, so the newest snapshot all ranks hold
+    // is step 8 itself (deposited at the end of the last completed
+    // step) — resuming exercises the mid-epoch iterator re-seek.
+    assert_eq!(restored_step, 8);
+    assert_eq!(epochs_a.len(), 2);
+    assert_eq!(epochs_a, epochs_b, "per-epoch metrics bit-identical");
+    let bits = |p: &[f32]| p.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(
+        bits(&fin_a.params),
+        bits(&fin_b.params),
+        "params bit-identical"
+    );
+    assert_eq!(
+        fin_a.to_bytes(),
+        fin_b.to_bytes(),
+        "terminal checkpoints byte-identical"
+    );
+}
+
+#[test]
+fn kill_and_resume_same_world_is_bit_identical_at_world_2() {
+    same_world_kill_and_resume(2);
+}
+
+#[test]
+fn kill_and_resume_same_world_is_bit_identical_at_world_4() {
+    same_world_kill_and_resume(4);
+}
+
+#[test]
+fn shrink_recovery_completes_and_records_the_event() {
+    let outcome = with_watchdog(|| {
+        let plan = FaultPlan::none().kill_rank_transient(2, 5);
+        train_elastic(&cfg(4), &plan, RecoveryPolicy::default()).expect("recovers")
+    });
+    assert_eq!(outcome.initial_world, 4);
+    assert_eq!(outcome.final_world, 3);
+    assert_eq!(outcome.recoveries.len(), 1);
+    let ev = &outcome.recoveries[0];
+    assert_eq!(ev.restart, 1);
+    assert_eq!(ev.failed_ranks, vec![2]);
+    assert_eq!((ev.world_before, ev.world_after), (4, 3));
+    // Kill at step 5 ⇒ steps 0..=4 completed, snapshots at 2 and 4.
+    assert_eq!(ev.restored_step, Some(4));
+    assert_eq!(ev.steps_lost, 1, "one completed step rolled back");
+    let ck = ev.restored_from.as_ref().expect("snapshot recorded");
+    assert_eq!(ck.step, 4);
+    assert_eq!(ck.world, 4, "snapshot taken before the shrink");
+    // The run finished: full epoch history in the final report, and the
+    // report carries the same recovery history.
+    assert_eq!(outcome.report.epochs.len(), 2);
+    assert!(outcome.report.epochs[1].valid_ppl.is_finite());
+    assert_eq!(outcome.report.recoveries, outcome.recoveries);
+    let fin = outcome.final_checkpoint.expect("terminal snapshot");
+    assert_eq!(fin.world, 3, "terminal snapshot is post-shrink");
+}
+
+#[test]
+fn shrink_recovered_run_matches_fresh_run_from_the_snapshot() {
+    let (recovered_fin, fresh_fin, recovered_epochs, fresh_epochs) = with_watchdog(|| {
+        let plan = FaultPlan::none().kill_rank_transient(2, 5);
+        let outcome = train_elastic(&cfg(4), &plan, RecoveryPolicy::default()).expect("recovers");
+        let snapshot = outcome.recoveries[0]
+            .restored_from
+            .clone()
+            .expect("snapshot recorded");
+
+        // A fresh G' = 3 run seeded from the very same snapshot.
+        let mut c3 = cfg(4);
+        c3.gpus = 3;
+        let store = Arc::new(CheckpointStore::new(3, c3.checkpoint.keep_last));
+        let res = train_checkpointed(
+            &c3,
+            UNLIMITED,
+            &FaultPlan::none(),
+            store.clone(),
+            Some(Arc::new(snapshot)),
+        );
+        let fresh = res[0].as_ref().expect("fresh G' run").clone();
+        (
+            outcome.final_checkpoint.expect("terminal snapshot"),
+            store.take_final().expect("terminal snapshot"),
+            outcome.report.epochs,
+            fresh.epochs,
+        )
+    });
+    assert_eq!(recovered_epochs, fresh_epochs, "per-epoch metrics match");
+    assert_eq!(
+        recovered_fin.to_bytes(),
+        fresh_fin.to_bytes(),
+        "recovery added no hidden state beyond the snapshot"
+    );
+}
+
+#[test]
+fn permanent_kill_exhausts_max_restarts() {
+    // A *slot-keyed* kill persists across shrinks (a persistently bad
+    // node): rank slot 0 dies in every incarnation, so the driver burns
+    // through its restart budget and surfaces the underlying failure.
+    let err = with_watchdog(|| {
+        let plan = FaultPlan::none().kill_rank(0, 3);
+        let policy = RecoveryPolicy {
+            max_restarts: 2,
+            backoff: Duration::ZERO,
+        };
+        train_elastic(&cfg(4), &plan, policy).expect_err("budget exhausted")
+    });
+    match err {
+        TrainError::PeerFailure { rank, reason } => {
+            assert_eq!(rank, 0);
+            assert!(reason.contains("killed by fault plan"), "{reason}");
+        }
+        other => panic!("expected the underlying kill, got {other:?}"),
+    }
+}
+
+#[test]
+fn multi_failure_schedule_recovers_twice() {
+    // Two transient kills scripted against the *original* numbering:
+    // rank 1 dies at step 3; rank 3 (renumbered to 2 after the first
+    // shrink) dies at step 7. Both recoveries restore from checkpoints.
+    let outcome = with_watchdog(|| {
+        let plan = FaultPlan::none()
+            .kill_rank_transient(1, 3)
+            .kill_rank_transient(3, 7);
+        train_elastic(&cfg(4), &plan, RecoveryPolicy::default()).expect("recovers twice")
+    });
+    assert_eq!(outcome.recoveries.len(), 2);
+    assert_eq!(outcome.final_world, 2);
+    assert_eq!(outcome.recoveries[0].failed_ranks, vec![1]);
+    assert_eq!(outcome.recoveries[0].restored_step, Some(2));
+    // Second failure: old rank 3 under its new rank id 2.
+    assert_eq!(outcome.recoveries[1].failed_ranks, vec![2]);
+    assert_eq!(
+        (
+            outcome.recoveries[1].world_before,
+            outcome.recoveries[1].world_after
+        ),
+        (3, 2)
+    );
+    assert_eq!(outcome.recoveries[1].restored_step, Some(6));
+    assert_eq!(outcome.report.epochs.len(), 2);
+}
+
+#[test]
+fn checkpointing_off_recovers_with_a_fresh_restart() {
+    let outcome = with_watchdog(|| {
+        let mut c = cfg(3);
+        c.checkpoint = CheckpointConfig::off();
+        let plan = FaultPlan::none().kill_rank_transient(1, 4);
+        train_elastic(&c, &plan, RecoveryPolicy::default()).expect("recovers from scratch")
+    });
+    assert_eq!(outcome.final_world, 2);
+    let ev = &outcome.recoveries[0];
+    assert_eq!(ev.restored_step, None, "no snapshot to restore");
+    assert!(ev.restored_from.is_none());
+    assert_eq!(ev.steps_lost, 4, "all completed steps rolled back");
+    assert_eq!(outcome.report.epochs.len(), 2, "fresh G' run completed");
+    // The terminal snapshot is taken whenever a store is attached —
+    // periodic cadence off only disables *mid-run* snapshots.
+    let fin = outcome.final_checkpoint.expect("terminal snapshot");
+    assert_eq!(fin.world, 2);
+}
+
+#[test]
+fn recovery_marker_lands_in_the_trace() {
+    let outcome = with_watchdog(|| {
+        let mut c = cfg(4);
+        c.trace = TraceConfig::on();
+        let plan = FaultPlan::none().kill_rank_transient(2, 5);
+        train_elastic(&c, &plan, RecoveryPolicy::default()).expect("recovers")
+    });
+    let trace = outcome.report.trace.as_ref().expect("tracing ran");
+    let markers: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.span == SpanKind::Recovery)
+        .collect();
+    assert_eq!(markers.len(), 1, "one marker per recovery round");
+    assert_eq!(markers[0].step, 4, "marker names the restored step");
+    // The marker must survive chrome-trace export.
+    let json = zipf_lm::chrome_trace_json(std::slice::from_ref(trace));
+    assert!(json.contains("\"Recovery\""));
+}

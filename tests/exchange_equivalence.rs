@@ -14,7 +14,8 @@ use rand::{Rng, SeedableRng};
 use simgpu::{CommGroup, Rank};
 use tensor::Matrix;
 use zipf_lm::{
-    exchange_and_apply, train, ExchangeConfig, Method, ModelKind, TraceConfig, TrainConfig,
+    exchange_and_apply, train, CheckpointConfig, ExchangeConfig, Method, ModelKind, TraceConfig,
+    TrainConfig,
 };
 
 const DIM: usize = 5;
@@ -173,6 +174,7 @@ fn training_trajectories_coincide() {
         seed: 31,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
     let base = train(&mk(Method::baseline())).expect("baseline");
     let uniq = train(&mk(Method::unique())).expect("unique");

@@ -11,7 +11,10 @@
 use simgpu::FaultPlan;
 use std::sync::mpsc;
 use std::time::Duration;
-use zipf_lm::{train, train_with_faults, Method, ModelKind, TraceConfig, TrainConfig, TrainError};
+use zipf_lm::{
+    train, train_with_faults, train_with_memory_limit, CheckpointConfig, Method, ModelKind,
+    TraceConfig, TrainConfig, TrainError,
+};
 
 /// Generous bound: the whole suite's fault runs finish in well under a
 /// second; a deadlock regression would otherwise hang CI forever.
@@ -45,6 +48,7 @@ fn cfg(gpus: usize) -> TrainConfig {
         seed: 7,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 
@@ -127,6 +131,73 @@ fn empty_fault_plan_matches_plain_train() {
     assert_eq!(rank0.epochs[0].train_loss, plain.epochs[0].train_loss);
     assert_eq!(rank0.final_ppl(), plain.final_ppl());
     assert!(via_faults[1].is_ok());
+}
+
+#[test]
+fn plan_targeting_rank_outside_world_is_rejected_eagerly() {
+    // A fault on `rank >= world` could never fire; it used to silently
+    // no-op, green-lighting tests that believed they injected a fault.
+    // Every fault kind must trip the validation, naming the bad rank.
+    let plans = [
+        FaultPlan::none().kill_rank(4, 0),
+        FaultPlan::none().kill_rank_transient(7, 2),
+        FaultPlan::none().straggle(5, Duration::from_millis(1)),
+        FaultPlan::none().limit_rank_memory(6, 1024),
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        let expect_rank = [4, 7, 5, 6][i];
+        let results = with_watchdog(move || train_with_faults(&cfg(4), UNLIMITED, &plan));
+        assert_eq!(results.len(), 4);
+        for res in &results {
+            match res {
+                Err(TrainError::InvalidFaultPlan { rank, world }) => {
+                    assert_eq!((*rank, *world), (expect_rank, 4), "plan {i}");
+                }
+                other => panic!("plan {i}: expected InvalidFaultPlan, got {other:?}"),
+            }
+        }
+    }
+    // A plan whose highest target is in range still runs.
+    let ok = with_watchdog(|| {
+        let plan = FaultPlan::none().straggle(3, Duration::from_millis(1));
+        train_with_faults(&cfg(4), UNLIMITED, &plan)
+    });
+    assert!(ok.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn oom_root_cause_beats_peer_failure_echoes() {
+    // The error-priority contract documented on `train_with_memory_limit`:
+    // when one rank OOMs, the other ranks' PeerFailure echoes must never
+    // win the collapse — callers see the root cause.
+    let err = with_watchdog(|| {
+        let c = cfg(4);
+        // Tight symmetric limit: some rank OOMs, the rest echo.
+        train_with_memory_limit(&c, 200_000).unwrap_err()
+    });
+    match err {
+        TrainError::Oom(_) => {}
+        other => panic!("root-cause OOM must beat PeerFailure echoes, got {other:?}"),
+    }
+    // Same contract for the asymmetric case, where exactly one rank
+    // holds the root cause and three hold echoes.
+    let err = with_watchdog(|| {
+        let c = cfg(4);
+        let plan = FaultPlan::none().limit_rank_memory(1, 10_000);
+        let results = train_with_faults(&c, UNLIMITED, &plan);
+        let mut peer = None;
+        for res in &results {
+            match res {
+                Err(TrainError::PeerFailure { .. }) if peer.is_none() => {
+                    peer = Some(res.clone().unwrap_err());
+                }
+                Err(e) if !matches!(e, TrainError::PeerFailure { .. }) => return e.clone(),
+                _ => {}
+            }
+        }
+        peer.expect("some rank must fail")
+    });
+    assert!(matches!(err, TrainError::Oom(_)), "got {err:?}");
 }
 
 #[test]

@@ -6,7 +6,7 @@ use corpus::{CorpusGenerator, DatasetProfile, TokenUnit, Vocab};
 use simgpu::CommGroup;
 use tensor::f16::round_trip;
 use zipf::{fit_power_law, FrequencyTable};
-use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 #[test]
 fn corpus_to_vocab_to_training_pipeline() {
@@ -29,6 +29,7 @@ fn corpus_to_vocab_to_training_pipeline() {
         seed: 9,
         tokens: 50_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
     let rep = train(&cfg).expect("pipeline");
     assert!(rep.final_ppl().is_finite());
@@ -116,6 +117,7 @@ fn traffic_attribution_consistent_with_report() {
         seed: 21,
         tokens: 40_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     };
     let rep = train(&cfg).expect("run");
     let measured = rep.traffic.total_bytes() as f64;
@@ -158,6 +160,7 @@ fn word_and_char_models_share_exchange_machinery() {
                 seed: 4,
                 tokens: 30_000,
                 trace: TraceConfig::off(),
+                checkpoint: CheckpointConfig::off(),
             };
             let rep = train(&cfg).expect("runs");
             assert!(rep.epochs[0].train_loss.is_finite());

@@ -5,7 +5,7 @@
 
 use perfmodel::{TechniqueStack, WordScale};
 use zipf::fit_power_law;
-use zipf_lm::{train, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig};
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
     TrainConfig {
@@ -21,6 +21,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         seed: 77,
         tokens: 120_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 

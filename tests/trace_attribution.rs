@@ -6,7 +6,9 @@
 
 use simgpu::{FaultPlan, SpanKind};
 use std::time::Duration;
-use zipf_lm::{train_with_faults, Method, ModelKind, TraceConfig, TrainConfig, TrainReport};
+use zipf_lm::{
+    train_with_faults, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport,
+};
 
 /// `trainer::UNLIMITED` is private; same headroom trick.
 const UNLIMITED: u64 = u64::MAX / 4;
@@ -25,6 +27,7 @@ fn traced_cfg(gpus: usize) -> TrainConfig {
         seed: 7,
         tokens: 20_000,
         trace: TraceConfig::on(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 

@@ -4,7 +4,8 @@
 
 use simgpu::FaultPlan;
 use zipf_lm::{
-    train, train_with_faults, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig,
+    train, train_with_faults, CheckpointConfig, Method, ModelKind, SeedStrategy, TraceConfig,
+    TrainConfig,
 };
 
 fn base_cfg() -> TrainConfig {
@@ -21,6 +22,7 @@ fn base_cfg() -> TrainConfig {
         seed: 42,
         tokens: 40_000,
         trace: TraceConfig::off(),
+        checkpoint: CheckpointConfig::off(),
     }
 }
 

@@ -181,7 +181,7 @@ fn dense_allreduce_analytic_matches_recorded_exactly() {
 /// per-step scalar loss ALLREDUCE (8·(G−1) bytes per rank per step).
 #[test]
 fn mean_step_bytes_reconciles_with_traffic_recorder() {
-    use zipf_lm::{train, Method, ModelKind, TraceConfig, TrainConfig};
+    use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
     for method in [Method::baseline(), Method::unique()] {
         let cfg = TrainConfig {
             model: ModelKind::Word { vocab: 150 },
@@ -196,6 +196,7 @@ fn mean_step_bytes_reconciles_with_traffic_recorder() {
             seed: 13,
             tokens: 30_000,
             trace: TraceConfig::off(),
+            checkpoint: CheckpointConfig::off(),
         };
         let rep = train(&cfg).expect("train");
         let g = cfg.gpus as u64;
