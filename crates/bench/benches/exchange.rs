@@ -140,6 +140,32 @@ fn steady_state(
     slowest
 }
 
+/// `steady_state` with the ranks multiplexed through the bounded run
+/// pool, sized ≥ world: every rank keeps its slot for the whole run, so
+/// the gate reduces to one uncontended acquire/release per rank and the
+/// loop must match the plain scoped-thread variant to within noise.
+fn steady_state_run_pooled(
+    world: usize,
+    iters: u64,
+    step: impl Fn(&Rank, &SparseGrad, &mut Embedding, &mut ExchangeScratch) + Sync,
+) -> Duration {
+    let ranks = CommGroup::create_pooled(world, world, world);
+    let times = simgpu::run_ranks(ranks, |rank| {
+        let mut table = Embedding::from_matrix(Matrix::zeros(SS_VOCAB, SS_DIM));
+        let grad = zipfian_grad(rank.rank() as u64, SS_TOKENS, SS_VOCAB, SS_DIM);
+        let mut scratch = ExchangeScratch::new();
+        step(&rank, &grad, &mut table, &mut scratch);
+        rank.barrier().unwrap();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            step(&rank, &grad, &mut table, &mut scratch);
+        }
+        rank.barrier().unwrap();
+        t0.elapsed()
+    });
+    times.into_iter().max().unwrap_or_default()
+}
+
 fn pooled_step(
     rank: &Rank,
     grad: &SparseGrad,
@@ -293,6 +319,31 @@ fn report_trace_overhead(_c: &mut Criterion) {
     );
 }
 
+/// Guard for the bounded-pool refactor: with the pool sized ≥ world the
+/// steady-state exchange must be unchanged — slot traffic is a one-time
+/// handoff per rank, never a per-step cost. Interleaved totals like
+/// `report_speedup`; the 1.30× bound is loose against scheduler jitter
+/// but catches an accidental per-collective gate round-trip cleanly.
+fn report_run_pool_overhead(_c: &mut Criterion) {
+    const STEPS: u64 = 30;
+    let mut plain_total = Duration::ZERO;
+    let mut gated_total = Duration::ZERO;
+    for _ in 0..3 {
+        plain_total += steady_state(SS_WORLD, STEPS / 3, pooled_step);
+        gated_total += steady_state_run_pooled(SS_WORLD, STEPS / 3, pooled_step);
+    }
+    let ratio = gated_total.as_secs_f64() / plain_total.as_secs_f64();
+    println!(
+        "exchange_steady/run_pool_overhead        unpooled {:.3} ms/step, pool>=world {:.3} ms/step => {ratio:.2}x (bound < 1.30x)",
+        plain_total.as_secs_f64() * 1e3 / STEPS as f64,
+        gated_total.as_secs_f64() * 1e3 / STEPS as f64,
+    );
+    assert!(
+        ratio < 1.30,
+        "run-pool exchange is {ratio:.2}x the unpooled steady state (bound 1.30x)"
+    );
+}
+
 fn bench_local_reduce(c: &mut Criterion) {
     let grad = zipfian_grad(3, TOKENS, VOCAB, DIM);
     c.bench_function("local_reduce_zipfian_256tok", |b| {
@@ -307,6 +358,7 @@ criterion_group!(
     report_speedup,
     report_phase_timings,
     report_trace_overhead,
+    report_run_pool_overhead,
     bench_local_reduce,
 );
 criterion_main!(benches);

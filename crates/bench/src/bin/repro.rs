@@ -14,6 +14,7 @@
 //!   table3   word-LM per-epoch time + parallel efficiency
 //!   table4   char-LM per-epoch time + parallel efficiency
 //!   table5   Tieba weak scaling (time model + real miniature accuracy)
+//!   weak     Table V column at real worlds (6/24/192 ranks, bounded pool)
 //!   memory   §V-A peak GPU memory (baseline linear vs ours flat)
 //!   sota     §V-D comparison with Puri et al. [21]
 //!   all      everything above
@@ -37,7 +38,7 @@ fn main() {
 
     let known = [
         "fig1", "table1", "memex", "fig5", "fig6", "fig7", "fig8", "table3", "table4", "table5",
-        "memory", "sota", "all",
+        "weak", "memory", "sota", "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown artifact '{what}'; one of: {}", known.join(", "));
@@ -65,6 +66,9 @@ fn main() {
     }
     if run("table5") {
         table5(quick);
+    }
+    if run("weak") {
+        weak(quick);
     }
     if run("memory") {
         memory();
@@ -272,6 +276,36 @@ fn table5(quick: bool) {
         render(&["GPUs", "tokens", "ppl", "ppl gain", "compr-ratio"], &body)
     );
     println!("paper: 35% accuracy improvement at 32x data; compression ratio 6.3");
+}
+
+fn weak(quick: bool) {
+    banner("Table V column at real worlds: 6/24/192 ranks over 8 run slots");
+    let rows = zlm_bench::weak_scaling(quick);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gpus.to_string(),
+                r.nodes.to_string(),
+                r.tokens.to_string(),
+                format!("{:.2}", r.final_ppl),
+                format!("{:.3}", r.sim_time_ps as f64 / 1e9),
+                r.wire_intra_bytes.to_string(),
+                r.wire_inter_bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["GPUs", "nodes", "tokens", "ppl", "sim ms", "intra B", "inter B"],
+            &body
+        )
+    );
+    println!("every world verified bit-identical to the unpooled flat ring");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_weak_scaling.json");
+    std::fs::write(path, zlm_bench::weak_scaling_json(&rows)).expect("write artifact");
+    println!("wrote {path}");
 }
 
 fn memory() {

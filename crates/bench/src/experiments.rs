@@ -6,7 +6,9 @@ use rand::SeedableRng;
 use zipf::{fit_power_law, heaps_curve_from_sampler, HeapsPoint, PowerLawFit};
 use zipf::{heaps::log_checkpoints, ZipfMandelbrot};
 use zipf_lm::seeding::SeedStrategy;
-use zipf_lm::{CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport};
+use zipf_lm::{
+    CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport,
+};
 
 /// One dataset's type–token curve and its power-law fit (Figure 1).
 #[derive(Debug, Clone)]
@@ -127,6 +129,7 @@ fn accuracy_cfg(quick: bool) -> TrainConfig {
         tokens: if quick { 80_000 } else { 240_000 },
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 
@@ -225,6 +228,7 @@ pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
                 tokens: base_tokens * data_mult,
                 trace: TraceConfig::off(),
                 checkpoint: CheckpointConfig::off(),
+                comm: CommConfig::flat(),
             };
             let report = zipf_lm::train(&cfg).expect("run");
             let ppl = report.final_ppl();
@@ -236,6 +240,134 @@ pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
             }
         })
         .collect()
+}
+
+/// One world of the Table V weak-scaling column at the paper's *real*
+/// GPU counts (6/24/192), trained through the bounded run pool and the
+/// two-tier hierarchical collectives.
+#[derive(Debug, Clone)]
+pub struct WeakScalingRow {
+    /// Simulated GPUs (a real rank thread group, pool-multiplexed).
+    pub gpus: usize,
+    /// Nodes spanned at the hardware preset's 8 GPUs/node.
+    pub nodes: usize,
+    /// Corpus tokens (grows with GPUs — weak scaling).
+    pub tokens: usize,
+    /// Final epoch training loss (bit-identical to the flat ring).
+    pub train_loss: f64,
+    /// Final validation perplexity.
+    pub final_ppl: f64,
+    /// Rank 0's summed simulated step time.
+    pub sim_time_ps: u64,
+    /// Recorder bytes on the intra-node (PCIe) tier.
+    pub wire_intra_bytes: u64,
+    /// Recorder bytes on the inter-node (IB) tier.
+    pub wire_inter_bytes: u64,
+    /// Attributed wire time on the intra-node tier (rank 0).
+    pub wire_intra_ps: u64,
+    /// Attributed wire time on the inter-node tier (rank 0).
+    pub wire_inter_ps: u64,
+}
+
+/// Table V's world sizes: 1 node, 3 nodes, 24 nodes of 8.
+pub const WEAK_SCALING_WORLDS: [usize; 3] = [6, 24, 192];
+
+/// Run-slot cap for the weak-scaling runs — the whole point is that
+/// 192 ranks multiplex over this many OS threads.
+pub const WEAK_SCALING_POOL: usize = 8;
+
+/// Table V's 6/24/192-GPU column at real world sizes: data scales with
+/// the world (weak scaling), comm goes through the hierarchical
+/// two-tier schedule under the bounded pool, and every world is
+/// checked bit-identical against an unpooled flat-ring run before its
+/// row is reported — the experiment is its own correctness guard.
+pub fn weak_scaling(quick: bool) -> Vec<WeakScalingRow> {
+    let base_tokens = if quick { 30_000 } else { 90_000 };
+    WEAK_SCALING_WORLDS
+        .iter()
+        .map(|&g| {
+            let tokens = base_tokens * g / WEAK_SCALING_WORLDS[0];
+            let cfg = TrainConfig {
+                model: ModelKind::Char { vocab: 48 },
+                gpus: g,
+                batch: 1,
+                seq_len: 6,
+                steps_per_epoch: if quick { 3 } else { 8 },
+                epochs: 1,
+                base_lr: 0.2,
+                lr_decay: 0.9,
+                method: Method::unique(),
+                seed: 1234,
+                tokens,
+                trace: TraceConfig::off(),
+                checkpoint: CheckpointConfig::off(),
+                comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL),
+            };
+            let hier = zipf_lm::train(&cfg).expect("hierarchical pooled run");
+            let flat = zipf_lm::train(&TrainConfig {
+                comm: CommConfig::flat(),
+                ..cfg.clone()
+            })
+            .expect("flat unpooled run");
+
+            // Topology must never change results: the hierarchical
+            // schedule reduces in canonical ascending-rank order, so
+            // every step loss is bit-equal to the flat ring's.
+            assert_eq!(hier.steps.len(), flat.steps.len());
+            for (h, f) in hier.steps.iter().zip(&flat.steps) {
+                assert_eq!(
+                    h.train_loss.to_bits(),
+                    f.train_loss.to_bits(),
+                    "world {g} step {} diverged from the flat ring",
+                    h.step
+                );
+                assert_eq!(h.attribution.total_ps(), h.sim_time_ps);
+            }
+
+            WeakScalingRow {
+                gpus: g,
+                nodes: g.div_ceil(8),
+                tokens,
+                train_loss: hier.epochs.last().unwrap().train_loss,
+                final_ppl: hier.final_ppl(),
+                sim_time_ps: hier.steps.iter().map(|s| s.sim_time_ps).sum(),
+                wire_intra_bytes: hier.traffic.intra_bytes(),
+                wire_inter_bytes: hier.traffic.inter_bytes(),
+                wire_intra_ps: hier.attribution.wire_intra_ps,
+                wire_inter_ps: hier.attribution.wire_inter_ps,
+            }
+        })
+        .collect()
+}
+
+/// Renders weak-scaling rows as the `BENCH_weak_scaling.json` artifact
+/// (hand-rolled — the workspace carries no JSON dependency).
+pub fn weak_scaling_json(rows: &[WeakScalingRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"weak_scaling\",\n");
+    out.push_str(&format!(
+        "  \"pool_workers\": {WEAK_SCALING_POOL},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"gpus\": {}, \"nodes\": {}, \"tokens\": {}, \
+             \"train_loss\": {}, \"final_ppl\": {}, \"sim_time_ps\": {}, \
+             \"wire_intra_bytes\": {}, \"wire_inter_bytes\": {}, \
+             \"wire_intra_ps\": {}, \"wire_inter_ps\": {}}}{}\n",
+            r.gpus,
+            r.nodes,
+            r.tokens,
+            r.train_loss,
+            r.final_ppl,
+            r.sim_time_ps,
+            r.wire_intra_bytes,
+            r.wire_inter_bytes,
+            r.wire_intra_ps,
+            r.wire_inter_ps,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// §V-D comparison against [21] (Puri et al., Amazon Reviews char LM on
@@ -269,6 +401,7 @@ pub fn sota_comparison(quick: bool) -> SotaComparison {
         tokens: if quick { 60_000 } else { 300_000 },
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
     let report = zipf_lm::train(&cfg).expect("run");
     let our_bpc = report.epochs.last().unwrap().valid_bpc;
@@ -336,6 +469,35 @@ mod tests {
         let max = finals.iter().cloned().fold(f64::MIN, f64::max);
         let min = finals.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max / min < 1.35, "curves did not converge: {finals:?}");
+    }
+
+    #[test]
+    fn weak_scaling_covers_paper_worlds_and_tiers() {
+        let rows = weak_scaling(true);
+        assert_eq!(
+            rows.iter().map(|r| r.gpus).collect::<Vec<_>>(),
+            vec![6, 24, 192]
+        );
+        for r in &rows {
+            assert!(r.final_ppl.is_finite(), "{r:?}");
+            assert!(r.wire_intra_bytes > 0);
+            if r.gpus <= 8 {
+                // One node: nothing ever crosses the IB tier.
+                assert_eq!(r.wire_inter_bytes, 0, "{r:?}");
+                assert_eq!(r.wire_inter_ps, 0, "{r:?}");
+            } else {
+                assert!(r.wire_inter_bytes > 0, "{r:?}");
+                assert!(r.wire_inter_ps > 0, "{r:?}");
+            }
+        }
+        // Weak scaling: 4x the world carries 4x the data.
+        assert_eq!(rows[1].tokens, rows[0].tokens * 4);
+        assert_eq!(rows[2].tokens, rows[0].tokens * 32);
+
+        let json = weak_scaling_json(&rows);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"gpus\"").count(), 3);
+        assert!(json.contains("\"wire_inter_bytes\""));
     }
 
     #[test]

@@ -40,8 +40,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Serialization format version (bump on any layout change).
-pub const FORMAT_VERSION: u32 = 1;
+/// Serialization format version (bump on any layout change). Version 2
+/// split the attribution wire bucket into intra/inter-node tiers.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic header of serialized checkpoints.
 pub const MAGIC: [u8; 8] = *b"ZLMCKPT\0";
@@ -353,7 +354,8 @@ impl Checkpoint {
         put_f64(&mut out, m.unique_sum);
         put_u64(&mut out, m.unique_count);
         put_u64(&mut out, m.attribution.compute_ps);
-        put_u64(&mut out, m.attribution.wire_ps);
+        put_u64(&mut out, m.attribution.wire_intra_ps);
+        put_u64(&mut out, m.attribution.wire_inter_ps);
         put_u64(&mut out, m.attribution.barrier_wait_ps);
         put_u64(&mut out, m.attribution.skew_ps);
         put_u64(&mut out, m.attribution.self_delay_ps);
@@ -416,7 +418,8 @@ impl Checkpoint {
         let unique_count = r.u64()?;
         let attribution = TimeAttribution {
             compute_ps: r.u64()?,
-            wire_ps: r.u64()?,
+            wire_intra_ps: r.u64()?,
+            wire_inter_ps: r.u64()?,
             barrier_wait_ps: r.u64()?,
             skew_ps: r.u64()?,
             self_delay_ps: r.u64()?,
@@ -647,7 +650,8 @@ mod tests {
                 unique_count: 3,
                 attribution: TimeAttribution {
                     compute_ps: 1,
-                    wire_ps: 2,
+                    wire_intra_ps: 2,
+                    wire_inter_ps: 6,
                     barrier_wait_ps: 3,
                     skew_ps: 4,
                     self_delay_ps: 5,

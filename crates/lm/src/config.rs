@@ -259,6 +259,58 @@ impl Default for CheckpointConfig {
     }
 }
 
+/// Cluster-topology and rank-scheduling knobs.
+///
+/// The defaults reproduce the pre-topology trainer exactly: a flat ring
+/// across all `G` GPUs with one unbounded OS thread per rank. Turning
+/// on `hierarchical` routes the dense-gradient ALLREDUCE through the
+/// two-tier schedule (intra-node PCIe ring, inter-node Infiniband ring
+/// between node leaders) — bit-identical results, different wire
+/// accounting and α–β time. Setting `pool_workers` bounds how many
+/// ranks *run* concurrently (see [`simgpu::RunGate`]), which is what
+/// makes paper-scale worlds of 48–192 ranks practical on a small box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommConfig {
+    /// GPUs per node for tier attribution and the hierarchical
+    /// schedule; `0` resolves to the hardware preset's value
+    /// (8 for the Table II Titan X cluster).
+    pub gpus_per_node: usize,
+    /// Route the dense ALLREDUCE through the two-tier hierarchical
+    /// schedule when the group spans multiple nodes. Results are
+    /// bit-identical to the flat ring; only wire/time accounting moves.
+    pub hierarchical: bool,
+    /// Run-slot cap for rank execution; `0` = unpooled (every rank
+    /// thread runnable at once — the legacy behaviour).
+    pub pool_workers: usize,
+}
+
+impl CommConfig {
+    /// Flat single-tier ring, unpooled — the legacy trainer behaviour.
+    pub fn flat() -> Self {
+        Self {
+            gpus_per_node: 0,
+            hierarchical: false,
+            pool_workers: 0,
+        }
+    }
+
+    /// Two-tier hierarchical collectives on the hardware preset's node
+    /// size, with rank execution bounded to `pool_workers` run slots.
+    pub fn hierarchical_pooled(pool_workers: usize) -> Self {
+        Self {
+            gpus_per_node: 0,
+            hierarchical: true,
+            pool_workers,
+        }
+    }
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
 /// Everything `train` needs.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -289,6 +341,9 @@ pub struct TrainConfig {
     /// Periodic bit-exact checkpointing (off by default — zero
     /// overhead; required for elastic recovery to restore progress).
     pub checkpoint: CheckpointConfig,
+    /// Cluster topology and rank scheduling (flat + unpooled by
+    /// default — identical to the pre-topology trainer).
+    pub comm: CommConfig,
 }
 
 impl Default for TrainConfig {
@@ -307,6 +362,7 @@ impl Default for TrainConfig {
             tokens: 50_000,
             trace: TraceConfig::off(),
             checkpoint: CheckpointConfig::off(),
+            comm: CommConfig::flat(),
         }
     }
 }
@@ -356,6 +412,18 @@ mod tests {
         assert!(every.enabled());
         assert_eq!(every.every_steps, 5);
         assert_eq!(every.keep_last, CheckpointConfig::off().keep_last);
+    }
+
+    #[test]
+    fn comm_defaults_flat_and_unpooled() {
+        let d = TrainConfig::default().comm;
+        assert_eq!(d, CommConfig::flat());
+        assert!(!d.hierarchical);
+        assert_eq!(d.pool_workers, 0);
+        let hp = CommConfig::hierarchical_pooled(4);
+        assert!(hp.hierarchical);
+        assert_eq!(hp.pool_workers, 4);
+        assert_eq!(hp.gpus_per_node, 0, "node size defers to the hw preset");
     }
 
     #[test]

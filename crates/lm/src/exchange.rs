@@ -64,6 +64,13 @@ pub struct ExchangeConfig {
     pub unique: bool,
     /// FP16 wire compression with this scaling factor (§III-C), if any.
     pub compression: Option<f32>,
+    /// GPUs per node; `> 0` routes the unique path's `Ug×D` ALLREDUCE
+    /// through the two-tier hierarchical schedule when the group spans
+    /// multiple nodes (uncompressed only — the f16 wire format stays on
+    /// the flat ring). `0` keeps everything on the flat single-tier
+    /// ring. Results are bit-identical either way; only the wire
+    /// schedule and per-tier byte accounting differ.
+    pub gpus_per_node: usize,
 }
 
 impl ExchangeConfig {
@@ -72,6 +79,7 @@ impl ExchangeConfig {
         Self {
             unique: false,
             compression: None,
+            gpus_per_node: 0,
         }
     }
 
@@ -79,7 +87,7 @@ impl ExchangeConfig {
     pub fn unique() -> Self {
         Self {
             unique: true,
-            compression: None,
+            ..Self::baseline()
         }
     }
 
@@ -88,7 +96,14 @@ impl ExchangeConfig {
         Self {
             unique: true,
             compression: Some(512.0),
+            gpus_per_node: 0,
         }
+    }
+
+    /// True when this config sends the `Ug×D` ALLREDUCE through the
+    /// two-tier schedule for a group of `world` ranks.
+    pub fn hierarchical_for(&self, world: usize) -> bool {
+        self.gpus_per_node > 0 && world > self.gpus_per_node && self.compression.is_none()
     }
 }
 
@@ -279,7 +294,7 @@ pub fn exchange_and_apply_traced(
     trace: Option<&mut TraceRecorder>,
 ) -> Result<ExchangeStats, CommError> {
     if cfg.unique {
-        unique_exchange_traced(rank, grad, table, lr, cfg.compression, scratch, trace)
+        unique_exchange_cfg_traced(rank, grad, table, lr, cfg, scratch, trace)
     } else {
         baseline_exchange_traced(rank, grad, table, lr, cfg.compression, scratch, trace)
     }
@@ -410,11 +425,37 @@ pub fn unique_exchange_traced(
     lr: f32,
     compression: Option<f32>,
     scratch: &mut ExchangeScratch,
+    trace: Option<&mut TraceRecorder>,
+) -> Result<ExchangeStats, CommError> {
+    let cfg = ExchangeConfig {
+        unique: true,
+        compression,
+        gpus_per_node: 0,
+    };
+    unique_exchange_cfg_traced(rank, grad, table, lr, &cfg, scratch, trace)
+}
+
+/// The uniqueness exchange with the full [`ExchangeConfig`] (topology
+/// included) and optional trace recording. `cfg.gpus_per_node > 0`
+/// sends step 6's `Ug×D` ALLREDUCE through
+/// [`Rank::all_reduce_sum_hierarchical`] when the group spans nodes;
+/// the analytic `wire_bytes` switch to the hierarchical schedule's
+/// total in lock-step, so they keep matching the traffic recorder
+/// exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn unique_exchange_cfg_traced(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    lr: f32,
+    cfg: &ExchangeConfig,
+    scratch: &mut ExchangeScratch,
     mut trace: Option<&mut TraceRecorder>,
 ) -> Result<ExchangeStats, CommError> {
     let g = rank.world();
     let d = table.dim();
     let n_local = grad.indices.len();
+    let compression = cfg.compression;
     let elem_bytes: u64 = if compression.is_some() { 2 } else { 4 };
     scratch.ensure_vocab(table.vocab());
     let mut timer = PhaseTimer::start();
@@ -465,11 +506,27 @@ pub fn unique_exchange_traced(
 
     // Step 6: ALLREDUCE the aligned matrices. Ring bytes are this
     // rank's exact share from the chunk schedule (matches the traffic
-    // recorder even when Ug·D does not divide by G).
-    let ring_bytes = simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes);
+    // recorder even when Ug·D does not divide by G); on the two-tier
+    // path they are the hierarchical schedule's exact total instead.
+    let hierarchical = cfg.hierarchical_for(g);
+    let ring_bytes = if hierarchical {
+        simgpu::hierarchical_allreduce_send_bytes(
+            u_global * d,
+            g,
+            cfg.gpus_per_node,
+            rank.rank(),
+            elem_bytes,
+        )
+        .total()
+    } else {
+        simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes)
+    };
     let t0 = trace_now(&trace);
     match compression {
         Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale)?,
+        None if hierarchical => {
+            rank.all_reduce_sum_hierarchical(&mut scratch.m, cfg.gpus_per_node)?
+        }
         None => rank.all_reduce_sum(&mut scratch.m)?,
     }
     timings.allreduce_ns = timer.lap_ns();
@@ -609,6 +666,7 @@ mod tests {
             ExchangeConfig {
                 unique: true,
                 compression: Some(512.0),
+                ..ExchangeConfig::baseline()
             },
         );
         let diff = exact[0].0.max_abs_diff(&comp[0].0);
@@ -629,6 +687,7 @@ mod tests {
             ExchangeConfig {
                 unique: false,
                 compression: Some(512.0),
+                ..ExchangeConfig::baseline()
             },
         );
         let diff = exact[0].0.max_abs_diff(&comp[0].0);
@@ -809,6 +868,55 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_unique_exchange_matches_flat_bit_exactly() {
+        // Routing step 6 through the two-tier schedule must not move a
+        // single bit of the result, and the analytic wire bytes must
+        // track the schedule switch exactly (per rank, recorder-exact
+        // on the ALLREDUCE share).
+        for (world, gpn) in [(6usize, 2usize), (8, 3)] {
+            let flat = exchange_result(world, ExchangeConfig::unique());
+            let hier_cfg = ExchangeConfig {
+                gpus_per_node: gpn,
+                ..ExchangeConfig::unique()
+            };
+            let ranks = CommGroup::create_with_topology(world, gpn);
+            let hier: Vec<(Matrix, ExchangeStats, simgpu::TrafficSnapshot)> =
+                simgpu::run_ranks(ranks, |rank| {
+                    let mut table = make_table(7);
+                    let grad = make_grad(100 + rank.rank() as u64, 12);
+                    let stats =
+                        exchange_and_apply(&rank, &grad, &mut table, 0.1, &hier_cfg).unwrap();
+                    // Safe to snapshot: every peer charged its bytes
+                    // before the final rendezvous released this rank.
+                    (table.weights().clone(), stats, rank.traffic())
+                });
+            let mut expected_allreduce = 0u64;
+            for (r, ((ft, fs), (ht, hs, _))) in flat.iter().zip(&hier).enumerate() {
+                assert_eq!(
+                    ft.as_slice(),
+                    ht.as_slice(),
+                    "world {world} gpn {gpn} rank {r} diverged"
+                );
+                assert_eq!(fs.unique_global, hs.unique_global);
+                let n = fs.unique_global * D;
+                let gather = 12u64 * 4 * (world as u64 - 1);
+                let tb = simgpu::hierarchical_allreduce_send_bytes(n, world, gpn, r, 4);
+                assert_eq!(hs.wire_bytes, gather + tb.total());
+                expected_allreduce += tb.total();
+            }
+            // Every hierarchical ALLREDUCE byte the stats claim is a
+            // byte the group's recorder saw, in the right tier buckets.
+            let snap = &hier[0].2;
+            assert_eq!(
+                snap.allreduce_intra_bytes + snap.allreduce_inter_bytes,
+                expected_allreduce,
+                "world {world} gpn {gpn}"
+            );
+            assert!(snap.allreduce_inter_bytes > 0, "leaders must cross nodes");
+        }
+    }
+
+    #[test]
     fn canonical_order_is_first_occurrence_of_gathered_vector() {
         // The unique set must be ordered by first occurrence in the
         // rank-order gathered index vector, not sorted — and all ranks
@@ -921,7 +1029,7 @@ mod tests {
                 assert_eq!(pt.as_slice(), tt.as_slice(), "cfg {cfg:?} rank {r}");
                 // Everything but the wall-clock phase timings must match
                 // bit-for-bit (timings differ between any two runs).
-                let mut ts_cmp = ts.clone();
+                let mut ts_cmp = *ts;
                 ts_cmp.timings = ps.timings;
                 assert_eq!(ps, &ts_cmp);
                 assert_eq!(log.total_bytes(), ts.wire_bytes, "cfg {cfg:?} rank {r}");

@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use zipf_lm::{TrainConfig, TraceConfig, CheckpointConfig, ModelKind, Method, train};
+//! use zipf_lm::{TrainConfig, TraceConfig, CheckpointConfig, CommConfig, ModelKind, Method, train};
 //! use zipf_lm::seeding::SeedStrategy;
 //!
 //! let cfg = TrainConfig {
@@ -41,6 +41,7 @@
 //!     tokens: 20_000,
 //!     trace: TraceConfig::off(),
 //!     checkpoint: CheckpointConfig::off(),
+//!     comm: CommConfig::flat(),
 //! };
 //! let report = train(&cfg).expect("training runs");
 //! assert!(report.epochs[0].train_loss.is_finite());
@@ -64,8 +65,9 @@
 //! export with [`chrome_trace_json`] (open in `chrome://tracing`) or
 //! [`TrainReport::steps_jsonl`]. Independent of tracing, each step's
 //! simulated time carries an exact integer-picosecond
-//! [`TimeAttribution`] split (compute / wire / barrier-wait / skew /
-//! self-delay) that sums to `sim_time_ps` on every rank.
+//! [`TimeAttribution`] split (compute / intra-node wire / inter-node
+//! wire / barrier-wait / skew / self-delay) that sums to `sim_time_ps`
+//! on every rank.
 
 pub mod checkpoint;
 pub mod config;
@@ -77,7 +79,7 @@ pub mod seeding;
 pub mod trainer;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
-pub use config::{CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+pub use config::{CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
 pub use elastic::{train_elastic, train_elastic_with_memory, RecoveryPolicy, TrainOutcome};
 pub use exchange::{
     exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,

@@ -12,18 +12,29 @@ use simgpu::{TraceLog, TrafficSnapshot};
 /// are global knowledge, so no extra communication is needed). Each
 /// rank then splits its own share of `T` into these buckets.
 ///
-/// **Invariant** (asserted in `tests/trace_attribution.rs`): the five
+/// **Invariant** (asserted in `tests/trace_attribution.rs`): the six
 /// buckets sum to the step's `sim_time_ps` *exactly*, on every rank —
 /// all arithmetic is integer picoseconds, each α–β term quantised
 /// individually via [`simgpu::secs_to_ps`], so there is no epsilon.
+///
+/// Wire time is split by interconnect tier, mirroring
+/// [`simgpu::Tier`]: `wire_intra_ps` for node-local PCIe hops and
+/// `wire_inter_ps` for Infiniband hops between nodes. Flat collectives
+/// charge whichever tier the group occupies (intra when it fits in one
+/// node, inter otherwise — the same switch [`simgpu::HardwareConfig`]'s
+/// `ring_bandwidth` makes); hierarchical collectives split the two
+/// tiers exactly. The legacy total is the
+/// [`wire_ps`](TimeAttribution::wire_ps) method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TimeAttribution {
     /// Local model compute plus gradient-application memory touches.
     pub compute_ps: u64,
     /// Collective latency terms plus this rank's exact wire bytes over
-    /// the modelled fabric (dense ALLREDUCE, index ALLGATHER, `Ug×D`
-    /// ALLREDUCE).
-    pub wire_ps: u64,
+    /// node-local links (PCIe tier).
+    pub wire_intra_ps: u64,
+    /// Collective latency terms plus this rank's exact wire bytes over
+    /// links between nodes (Infiniband tier).
+    pub wire_inter_ps: u64,
     /// Time parked waiting for slower peers' *modelled work* — load
     /// imbalance inherent to the step (uneven ring shares).
     pub barrier_wait_ps: u64,
@@ -35,15 +46,27 @@ pub struct TimeAttribution {
 }
 
 impl TimeAttribution {
+    /// Total wire time across both tiers — the pre-split `wire_ps`
+    /// bucket, kept as a method for display and downstream tooling.
+    pub fn wire_ps(&self) -> u64 {
+        self.wire_intra_ps + self.wire_inter_ps
+    }
+
     /// Sum of all buckets — equals the step's `sim_time_ps` exactly.
     pub fn total_ps(&self) -> u64 {
-        self.compute_ps + self.wire_ps + self.barrier_wait_ps + self.skew_ps + self.self_delay_ps
+        self.compute_ps
+            + self.wire_intra_ps
+            + self.wire_inter_ps
+            + self.barrier_wait_ps
+            + self.skew_ps
+            + self.self_delay_ps
     }
 
     /// Elementwise accumulation (for per-run totals).
     pub fn accumulate(&mut self, other: &TimeAttribution) {
         self.compute_ps += other.compute_ps;
-        self.wire_ps += other.wire_ps;
+        self.wire_intra_ps += other.wire_intra_ps;
+        self.wire_inter_ps += other.wire_inter_ps;
         self.barrier_wait_ps += other.barrier_wait_ps;
         self.skew_ps += other.skew_ps;
         self.self_delay_ps += other.self_delay_ps;
@@ -194,14 +217,17 @@ impl TrainReport {
             let a = &s.attribution;
             out.push_str(&format!(
                 "{{\"step\":{},\"train_loss\":{},\"sim_time_ps\":{},\
-                 \"compute_ps\":{},\"wire_ps\":{},\"barrier_wait_ps\":{},\
+                 \"compute_ps\":{},\"wire_ps\":{},\"wire_intra_ps\":{},\
+                 \"wire_inter_ps\":{},\"barrier_wait_ps\":{},\
                  \"skew_ps\":{},\"self_delay_ps\":{},\"dense_bytes\":{},\
                  \"input_wire_bytes\":{},\"output_wire_bytes\":{},\"unique_global\":{}}}\n",
                 s.step,
                 json_f64(s.train_loss),
                 s.sim_time_ps,
                 a.compute_ps,
-                a.wire_ps,
+                a.wire_ps(),
+                a.wire_intra_ps,
+                a.wire_inter_ps,
                 a.barrier_wait_ps,
                 a.skew_ps,
                 a.self_delay_ps,
@@ -250,17 +276,21 @@ mod tests {
     fn attribution_totals_and_accumulates() {
         let a = TimeAttribution {
             compute_ps: 5,
-            wire_ps: 4,
+            wire_intra_ps: 3,
+            wire_inter_ps: 1,
             barrier_wait_ps: 3,
             skew_ps: 2,
             self_delay_ps: 1,
         };
+        assert_eq!(a.wire_ps(), 4);
         assert_eq!(a.total_ps(), 15);
         let mut sum = TimeAttribution::default();
         sum.accumulate(&a);
         sum.accumulate(&a);
         assert_eq!(sum.total_ps(), 30);
         assert_eq!(sum.compute_ps, 10);
+        assert_eq!(sum.wire_intra_ps, 6);
+        assert_eq!(sum.wire_inter_ps, 2);
     }
 
     #[test]

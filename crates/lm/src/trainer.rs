@@ -291,46 +291,46 @@ fn train_inner(
     let devices: Vec<Arc<Device>> = (0..cfg.gpus)
         .map(|i| Device::new(i, plan.mem_limit(i).unwrap_or(gpu_mem_bytes)))
         .collect();
-    let ranks = CommGroup::create(cfg.gpus);
+    // Topology: `comm.gpus_per_node == 0` defers to the hardware preset
+    // (8 for the Table II cluster). The node layout only moves bytes
+    // between the recorder's intra/inter tier buckets and selects the
+    // hierarchical wire schedule — it never changes results. A nonzero
+    // `pool_workers` additionally bounds how many rank threads run
+    // concurrently (see `simgpu::RunGate`), which is what lets
+    // paper-scale worlds of 48–192 ranks train on a small machine.
+    let gpn = if cfg.comm.gpus_per_node == 0 {
+        cost.hardware().gpus_per_node
+    } else {
+        cfg.comm.gpus_per_node
+    };
+    let ranks = if cfg.comm.pool_workers > 0 {
+        CommGroup::create_pooled(cfg.gpus, gpn, cfg.comm.pool_workers)
+    } else {
+        CommGroup::create_with_topology(cfg.gpus, gpn)
+    };
 
-    let mut results: Vec<Option<Result<RankOutput, TrainError>>> =
-        (0..cfg.gpus).map(|_| None).collect();
     let runtime = &runtime;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranks
-            .into_iter()
-            .map(|rank| {
-                let device = Arc::clone(&devices[rank.rank()]);
-                let train_tokens = Arc::clone(&train_tokens);
-                let valid_tokens = Arc::clone(&valid_tokens);
-                let cost = cost.clone();
-                let cfg = cfg.clone();
-                s.spawn(move || {
-                    run_rank(
-                        rank,
-                        device,
-                        &cfg,
-                        model_vocab,
-                        spec,
-                        &train_tokens,
-                        &valid_tokens,
-                        &cost,
-                        plan,
-                        runtime.as_ref(),
-                    )
-                })
-            })
-            .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            results[i] = Some(h.join().expect("rank thread panicked"));
-        }
+    let results: Vec<Result<RankOutput, TrainError>> = simgpu::run_ranks(ranks, |rank| {
+        let device = Arc::clone(&devices[rank.rank()]);
+        run_rank(
+            rank,
+            device,
+            cfg,
+            model_vocab,
+            spec,
+            &train_tokens,
+            &valid_tokens,
+            &cost,
+            plan,
+            runtime.as_ref(),
+        )
     });
 
     let peak_mem = devices.iter().map(|d| d.peak()).max().unwrap_or(0);
     results
         .into_iter()
         .map(|res| {
-            res.unwrap().map(|mut out| {
+            res.map(|mut out| {
                 out.report.peak_mem_bytes = peak_mem;
                 out.report.gpus = cfg.gpus;
                 out.report
@@ -538,9 +538,24 @@ struct RankOutput {
     report: TrainReport,
 }
 
+/// Assigns a flat collective's wire picoseconds to the tier the group
+/// occupies: intra-node while it fits in one node, inter-node once it
+/// spans several — the same switch [`HardwareConfig`]'s
+/// `ring_bandwidth`/`ring_latency` make when pricing the collective, so
+/// the attribution tier always matches the α–β constants that produced
+/// the time. Returns `(intra_ps, inter_ps)`.
+fn flat_tier_split(wire_ps: u64, gpus: usize, hw_gpus_per_node: usize) -> (u64, u64) {
+    if gpus <= hw_gpus_per_node {
+        (wire_ps, 0)
+    } else {
+        (0, wire_ps)
+    }
+}
+
 /// Simulated cost of one exchange for rank `q`, in integer picoseconds,
-/// split into `(wire_ps, touch_ps)` — the collective part and the local
-/// memory-touch part. Every α–β term is quantised to ps individually
+/// split into `(wire_intra_ps, wire_inter_ps, touch_ps)` — the
+/// collective part per interconnect tier and the local memory-touch
+/// part. Every α–β term is quantised to ps individually
 /// ([`secs_to_ps`]), so sums of terms stay exact.
 ///
 /// Any rank can evaluate this for any `q`: the inputs are rank-invariant
@@ -549,7 +564,10 @@ struct RankOutput {
 /// `unique_global` is synchronised by construction), and rank `q`'s ring
 /// ALLREDUCE share comes from the chunk schedule, which is global
 /// knowledge — the basis of the local, communication-free step-time
-/// model in [`run_rank`].
+/// model in [`run_rank`]. When the config routes the unique path's
+/// ALLREDUCE hierarchically, its cost comes from
+/// [`CostModel::hierarchical_allreduce_rank_time`], whose two tiers are
+/// quantised separately so the split reconciles exactly.
 fn exchange_cost_ps(
     cost: &CostModel,
     stats: &ExchangeStats,
@@ -557,24 +575,42 @@ fn exchange_cost_ps(
     gpus: usize,
     dim: usize,
     q: usize,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
+    let hw_gpn = cost.hardware().gpus_per_node;
     let elem: u64 = if cfg.compression.is_some() { 2 } else { 4 };
     if cfg.unique {
         // Index ALLGATHER + Ug×D ALLREDUCE + local table touch.
-        let wire = secs_to_ps(cost.allgather_time(stats.local_tokens as u64 * 4, gpus))
-            + secs_to_ps(cost.allreduce_rank_time(stats.unique_global * dim, elem, gpus, q));
+        let gather = secs_to_ps(cost.allgather_time(stats.local_tokens as u64 * 4, gpus));
+        let (mut intra, mut inter) = flat_tier_split(gather, gpus, hw_gpn);
+        if cfg.hierarchical_for(gpus) {
+            let (a, b) = cost.hierarchical_allreduce_rank_time(
+                stats.unique_global * dim,
+                elem,
+                gpus,
+                cfg.gpus_per_node,
+                q,
+            );
+            intra += secs_to_ps(a);
+            inter += secs_to_ps(b);
+        } else {
+            let t = secs_to_ps(cost.allreduce_rank_time(stats.unique_global * dim, elem, gpus, q));
+            let (a, b) = flat_tier_split(t, gpus, hw_gpn);
+            intra += a;
+            inter += b;
+        }
         let touch = secs_to_ps(cost.memory_touch_time(stats.unique_global as u64 * dim as u64 * 4));
-        (wire, touch)
+        (intra, inter, touch)
     } else {
         // Dense ALLGATHER of K×D rows + indices, then a Θ(G·K·D) local
         // update touch.
         let wire = secs_to_ps(
             cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus),
         );
+        let (intra, inter) = flat_tier_split(wire, gpus, hw_gpn);
         let touch = secs_to_ps(
             cost.memory_touch_time(gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4),
         );
-        (wire, touch)
+        (intra, inter, touch)
     }
 }
 
@@ -595,11 +631,19 @@ fn run_rank(
     let r = rank.rank();
     let is_rank0 = r == 0;
     let mut replica = Replica::new(cfg, model_vocab);
+    // The rank's group carries the resolved node layout; the exchange
+    // config inherits it only when the hierarchical schedule is on, so
+    // `comm.hierarchical = false` keeps every collective on the flat
+    // ring regardless of topology.
+    let gpn = rank.gpus_per_node();
     let xcfg = ExchangeConfig {
         unique: cfg.method.unique,
         compression: cfg.method.compression,
+        gpus_per_node: if cfg.comm.hierarchical { gpn } else { 0 },
     };
     let hw_gpus_per_node = cost.hardware().gpus_per_node;
+    // LR scaling stays a property of the hardware preset, not of the
+    // topology override — topology must never change results.
     let mut lr = scaled_lr(cfg.base_lr, g, hw_gpus_per_node);
 
     // Opt-in tracing: a per-rank ring recorder plus barrier-wait
@@ -746,11 +790,15 @@ fn run_rank(
                 rec.record_since(SpanKind::Compute, t0.unwrap_or(0), 0);
             }
 
-            // Dense ALLREDUCE + average.
+            // Dense ALLREDUCE + average. The hierarchical route kicks in
+            // only for uncompressed multi-node groups (the f16 wire
+            // format stays on the flat ring) and is bit-identical to it.
+            let hier_dense = cfg.comm.hierarchical && cfg.method.compression.is_none() && g > gpn;
             let mut dense = out.dense;
             let t0 = recorder.as_ref().map(|rec| rec.now_ns());
             match cfg.method.compression {
                 Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale)?,
+                None if hier_dense => rank.all_reduce_sum_hierarchical(&mut dense, gpn)?,
                 None => rank.all_reduce_sum(&mut dense)?,
             }
             let inv_g = 1.0 / g as f32;
@@ -762,9 +810,13 @@ fn run_rank(
             } else {
                 4
             };
-            // Exact per-rank ring bytes from the chunk schedule — matches
-            // the traffic recorder even when dense.len() ∤ g.
-            let dense_bytes = simgpu::ring_allreduce_send_bytes(dense.len(), g, r, elem);
+            // Exact per-rank bytes from the active wire schedule —
+            // matches the traffic recorder even when dense.len() ∤ g.
+            let dense_bytes = if hier_dense {
+                simgpu::hierarchical_allreduce_send_bytes(dense.len(), g, gpn, r, elem).total()
+            } else {
+                simgpu::ring_allreduce_send_bytes(dense.len(), g, r, elem)
+            };
             if let Some(rec) = recorder.as_mut() {
                 rec.record_since(SpanKind::AllReduce, t0.unwrap_or(0), dense_bytes);
             }
@@ -844,24 +896,38 @@ fn run_rank(
                 Replica::Word(m) => m.config().proj_dim,
                 Replica::Char(_) => dim,
             };
-            let mut my_wire_ps = 0u64;
+            let mut my_wire_intra_ps = 0u64;
+            let mut my_wire_inter_ps = 0u64;
             let mut my_touch_ps = 0u64;
             let mut t0_ps = 0u64; // max modelled work, delays excluded
             let mut t_ps = 0u64; // max busy = work + injected delay
             for (q, w) in work_ps.iter_mut().enumerate() {
-                let dense_q = secs_to_ps(cost.allreduce_rank_time(dense.len(), elem, g, q));
-                let (in_wire, in_touch) = exchange_cost_ps(cost, &in_stats, &xcfg, g, dim, q);
-                let (out_wire, out_touch) = match &out_stats {
-                    Some(s) => exchange_cost_ps(cost, s, &xcfg, g, out_dim, q),
-                    None => (0, 0),
+                let (dense_intra, dense_inter) = if hier_dense {
+                    let (a, b) =
+                        cost.hierarchical_allreduce_rank_time(dense.len(), elem, g, gpn, q);
+                    (secs_to_ps(a), secs_to_ps(b))
+                } else {
+                    flat_tier_split(
+                        secs_to_ps(cost.allreduce_rank_time(dense.len(), elem, g, q)),
+                        g,
+                        hw_gpus_per_node,
+                    )
                 };
-                let wire_q = dense_q + in_wire + out_wire;
+                let (in_intra, in_inter, in_touch) =
+                    exchange_cost_ps(cost, &in_stats, &xcfg, g, dim, q);
+                let (out_intra, out_inter, out_touch) = match &out_stats {
+                    Some(s) => exchange_cost_ps(cost, s, &xcfg, g, out_dim, q),
+                    None => (0, 0, 0),
+                };
+                let wire_intra_q = dense_intra + in_intra + out_intra;
+                let wire_inter_q = dense_inter + in_inter + out_inter;
                 let touch_q = in_touch + out_touch;
-                *w = compute_ps + touch_q + wire_q;
+                *w = compute_ps + touch_q + wire_intra_q + wire_inter_q;
                 t0_ps = t0_ps.max(*w);
                 t_ps = t_ps.max(*w + delay_ps[q]);
                 if q == r {
-                    my_wire_ps = wire_q;
+                    my_wire_intra_ps = wire_intra_q;
+                    my_wire_inter_ps = wire_inter_q;
                     my_touch_ps = touch_q;
                 }
             }
@@ -873,7 +939,8 @@ fn run_rank(
             let barrier_wait_ps = wait_ps.min(t0_ps - work_ps[r]);
             let attribution = TimeAttribution {
                 compute_ps: compute_ps + my_touch_ps,
-                wire_ps: my_wire_ps,
+                wire_intra_ps: my_wire_intra_ps,
+                wire_inter_ps: my_wire_inter_ps,
                 barrier_wait_ps,
                 skew_ps: wait_ps - barrier_wait_ps,
                 self_delay_ps: delay_ps[r],
@@ -986,7 +1053,7 @@ const SAMPLE_SEED: u64 = 0x5eed_5eed_5eed_5eed;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CheckpointConfig, Method, TraceConfig};
+    use crate::config::{CheckpointConfig, CommConfig, Method, TraceConfig};
     use crate::seeding::SeedStrategy;
 
     fn quick_cfg(model: ModelKind, gpus: usize, method: Method) -> TrainConfig {
@@ -1004,6 +1071,7 @@ mod tests {
             tokens: 30_000,
             trace: TraceConfig::off(),
             checkpoint: CheckpointConfig::off(),
+            comm: CommConfig::flat(),
         }
     }
 
@@ -1102,6 +1170,81 @@ mod tests {
         let b = train(&cfg).unwrap();
         assert_eq!(a.epochs[0].train_loss, b.epochs[0].train_loss);
         assert_eq!(a.final_ppl(), b.final_ppl());
+    }
+
+    #[test]
+    fn hierarchical_pooled_training_matches_flat_bitwise() {
+        // The tentpole invariant end to end: routing every dense and
+        // Ug×D ALLREDUCE through the two-tier schedule under a bounded
+        // worker pool changes *nothing* about the numbers — losses and
+        // final perplexity are bit-identical; only the wire accounting
+        // (and hence simulated time) moves between tiers.
+        let flat_cfg = quick_cfg(ModelKind::Word { vocab: 150 }, 6, Method::unique());
+        let mut hier_cfg = flat_cfg.clone();
+        hier_cfg.comm = CommConfig {
+            gpus_per_node: 2,
+            hierarchical: true,
+            pool_workers: 3,
+        };
+        let flat = train(&flat_cfg).expect("flat");
+        let hier = train(&hier_cfg).expect("hier");
+        assert_eq!(flat.epochs[0].train_loss, hier.epochs[0].train_loss);
+        assert_eq!(flat.final_ppl(), hier.final_ppl());
+        for (a, b) in flat.steps.iter().zip(&hier.steps) {
+            assert_eq!(a.train_loss, b.train_loss, "step {} diverged", a.step);
+            assert_eq!(a.attribution.total_ps(), a.sim_time_ps);
+            assert_eq!(b.attribution.total_ps(), b.sim_time_ps);
+        }
+        // 6 ranks over 2-GPU nodes: rank 0 leads a node, so its wire
+        // time and the group's traffic must actually cross Infiniband.
+        assert!(hier.steps[0].attribution.wire_inter_ps > 0);
+        assert!(hier.steps[0].attribution.wire_intra_ps > 0);
+        assert!(hier.traffic.allreduce_inter_bytes > 0);
+        // The flat run fits the hardware preset's node (6 ≤ 8): all of
+        // its wire time and bytes stay on the PCIe tier.
+        assert_eq!(flat.steps[0].attribution.wire_inter_ps, 0);
+        assert_eq!(flat.traffic.allreduce_inter_bytes, 0);
+    }
+
+    #[test]
+    fn hierarchical_analytic_bytes_reconcile_with_recorder_exactly() {
+        // Trainer-level exactness: every ALLREDUCE byte the recorder saw
+        // is a byte some rank's analytic model claimed — summed over all
+        // ranks and steps, with no epsilon, at a ragged world (5 ranks
+        // on 2-GPU nodes: 2 + 2 + 1). Char LM ⇒ one dense ALLREDUCE,
+        // one unique input exchange and one scalar loss reduce per step.
+        let (g, gpn) = (5usize, 2usize);
+        let mut cfg = quick_cfg(ModelKind::Char { vocab: 32 }, g, Method::unique());
+        cfg.comm = CommConfig {
+            gpus_per_node: gpn,
+            hierarchical: true,
+            pool_workers: 2,
+        };
+        let reports: Vec<TrainReport> = train_with_faults(&cfg, UNLIMITED, &FaultPlan::none())
+            .into_iter()
+            .map(|r| r.expect("rank failed"))
+            .collect();
+        let mut expected = 0u64;
+        for (r, rep) in reports.iter().enumerate() {
+            for s in &rep.steps {
+                // dense_bytes is the rank's exact hierarchical share.
+                expected += s.dense_bytes;
+                // The exchange's wire_bytes = index gather + ALLREDUCE
+                // share; only the latter lands in the allreduce bucket.
+                let gather = (s.input_exchange.local_tokens as u64) * 4 * (g as u64 - 1);
+                expected += s.input_exchange.wire_bytes - gather;
+                // The synchronised mean loss: 8 bytes to every peer.
+                expected += simgpu::peer_exchange_tier_bytes(g, gpn, r, 8).total();
+            }
+        }
+        let snap = &reports[0].traffic;
+        assert_eq!(snap.allreduce_bytes, expected);
+        assert_eq!(
+            snap.allreduce_bytes,
+            snap.allreduce_intra_bytes + snap.allreduce_inter_bytes
+        );
+        assert!(snap.allreduce_inter_bytes > 0, "leaders must cross nodes");
+        assert!(snap.allreduce_intra_bytes > 0);
     }
 
     #[test]

@@ -1,21 +1,45 @@
-//! Thread-group collectives with real data movement.
+//! Thread-group collectives with real data movement and two-tier
+//! topology-aware wire accounting.
 //!
-//! One OS thread per simulated GPU rank. Collectives are SPMD: every rank
-//! calls the same operation in the same order (exactly the MPI contract
-//! the paper's TensorFlow+MPI stack obeys). Data moves through per-rank
-//! mailboxes guarded by mutexes, with `std::sync::Barrier` separating the
-//! write / read phases of each algorithm step, so all payload bytes are
-//! genuinely transported and counted.
+//! One OS thread per simulated GPU rank (optionally multiplexed over a
+//! bounded run-slot pool — see [`crate::pool`]). Collectives are SPMD:
+//! every rank calls the same operation in the same order (exactly the
+//! MPI contract the paper's TensorFlow+MPI stack obeys).
 //!
-//! ALLREDUCE uses the bandwidth-optimal **ring algorithm** the paper
-//! cites (Gibiansky, "Bringing HPC techniques to deep learning"): a
-//! reduce-scatter pass followed by an all-gather pass, `2(G−1)` steps
-//! total, each rank sending `2(G−1)/G · n` elements overall.
+//! ## Execution model: rendezvous collectives
 //!
-//! FP16 variants implement §III-C: payloads are multiplied by a scaling
-//! factor, down-cast to binary16 for every hop, up-cast and un-scaled on
-//! receipt — so quantisation error accumulates per hop exactly as a real
-//! FP16 wire format would impose.
+//! Every collective is a **rendezvous**: each rank publishes its
+//! contribution to a sender-indexed slot, all ranks meet at one
+//! abort-aware barrier where the *last arriver* executes the group-wide
+//! reduction, and each rank then copies the result out. This is O(1)
+//! synchronisation rounds per collective regardless of world size —
+//! what makes 192-rank groups practical on a small machine — and all
+//! payload bytes still genuinely move through shared memory.
+//!
+//! Reductions are computed in **canonical ascending rank order**
+//! (left-associated, rank 0 first) no matter which wire schedule is
+//! being modelled, so the flat ring and the hierarchical two-tier
+//! schedule produce bit-identical results by construction.
+//!
+//! ## Wire model: what the accounting charges
+//!
+//! Byte accounting follows the *modelled* schedule, not the rendezvous
+//! mechanics. The flat ALLREDUCE charges the bandwidth-optimal **ring
+//! algorithm** the paper cites (Gibiansky, "Bringing HPC techniques to
+//! deep learning"): reduce-scatter + all-gather, `2(G−1)` steps, each
+//! rank sending `2(G−1)/G · n` elements. The hierarchical ALLREDUCE
+//! charges a four-phase two-tier schedule (intra-node ring
+//! reduce-scatter, chunk hand-off to the node leader, leader ring over
+//! the Infiniband tier, intra-node broadcast). Every charge lands in a
+//! per-[`Tier`] bucket that exactly matches the analytic helpers
+//! ([`ring_allreduce_send_bytes`], [`hierarchical_allreduce_send_bytes`]),
+//! so analytic == recorded holds to the byte, per tier.
+//!
+//! FP16 variants implement §III-C: the reduction emulates the ring's
+//! per-hop quantisation (multiply by a scaling factor, down-cast to
+//! binary16, up-cast and un-scale at the receiver) in canonical hop
+//! order, so quantisation error accumulates per hop exactly as a real
+//! FP16 wire format would impose, and wire bytes are halved.
 //!
 //! ## Failure model
 //!
@@ -31,7 +55,8 @@
 //! permanent: a poisoned group cannot be revived, matching the MPI
 //! convention that a communicator with a dead member is unusable.
 
-use crate::traffic::{TrafficRecorder, TrafficSnapshot};
+use crate::pool::RunGate;
+use crate::traffic::{Tier, TierBytes, TrafficRecorder, TrafficSnapshot};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
@@ -114,13 +139,24 @@ impl AbortBarrier {
     }
 
     /// Parks until all `world` ranks arrive, or until the group aborts.
-    fn wait(&self) -> Result<(), CommError> {
+    /// The **last arriver** runs `leader_work` before releasing the
+    /// round — this is the rendezvous hook every collective uses to
+    /// compute its reduction exactly once, with all inputs published
+    /// and no rank able to race ahead (peers are parked until the
+    /// generation bumps, which happens strictly after `leader_work`).
+    ///
+    /// `leader_work` runs under the barrier mutex; concurrent
+    /// [`AbortBarrier::abort`] calls block for its duration, which is
+    /// safe (abort only needs to set the flag and wake waiters, and
+    /// every waiter is still parked here anyway).
+    fn wait_leader<F: FnOnce()>(&self, leader_work: F) -> Result<(), CommError> {
         let mut st = self.state.lock();
         if let Some(e) = &st.abort {
             return Err(e.clone());
         }
         st.arrived += 1;
         if st.arrived == self.world {
+            leader_work();
             st.arrived = 0;
             st.generation = st.generation.wrapping_add(1);
             self.cvar.notify_all();
@@ -230,15 +266,21 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 /// Shared state of one communicator group.
 struct GroupCore {
     world: usize,
+    /// Node size for tier attribution: rank `r` lives on node
+    /// `r / gpus_per_node`. Legacy groups are created single-node
+    /// (`gpus_per_node == world`), so every byte lands intra-node.
+    gpus_per_node: usize,
     barrier: AbortBarrier,
-    /// Receiver-indexed mailboxes for ring steps (single writer per step).
-    mailbox_f32: Vec<Mutex<Vec<f32>>>,
-    mailbox_u16: Vec<Mutex<Vec<u16>>>,
     /// Sender-indexed tables for gather-style collectives.
     gather_u32: Vec<Mutex<Vec<u32>>>,
     gather_f32: Vec<Mutex<Vec<f32>>>,
     gather_u16: Vec<Mutex<Vec<u16>>>,
     gather_f64: Vec<Mutex<Vec<f64>>>,
+    /// Reduction result written by the rendezvous leader, read by all.
+    reduce_f32: Mutex<Vec<f32>>,
+    /// Optional bounded run pool: ranks release their run slot while
+    /// parked at the rendezvous and re-acquire it on wake-up.
+    gate: Option<Arc<RunGate>>,
     traffic: TrafficRecorder,
 }
 
@@ -265,17 +307,49 @@ pub struct CommGroup;
 impl CommGroup {
     /// Creates a group of `world` ranks. Hand each [`Rank`] to its own
     /// thread; all collectives must then be called by *every* rank.
+    ///
+    /// The group is single-node for tier attribution (all bytes count
+    /// as intra-node); use [`CommGroup::create_with_topology`] to model
+    /// a multi-node cluster.
     pub fn create(world: usize) -> Vec<Rank> {
+        Self::create_with_topology(world, world)
+    }
+
+    /// Creates a group whose ranks are laid out `gpus_per_node` per
+    /// node (node `i` owns ranks `[i·gpus_per_node, (i+1)·gpus_per_node)`,
+    /// with a smaller last node when the division is ragged). The
+    /// topology only affects which [`Tier`] bucket each collective's
+    /// bytes are charged to — results are identical on any topology.
+    pub fn create_with_topology(world: usize, gpus_per_node: usize) -> Vec<Rank> {
+        Self::build(world, gpus_per_node, None)
+    }
+
+    /// Creates a topology-aware group whose ranks multiplex over a
+    /// bounded run pool of `pool_workers` slots (clamped to at least 1).
+    /// Spawn the ranks with [`crate::pool::run_ranks`]: each rank holds
+    /// a run slot while executing and parks slot-free at collective
+    /// rendezvous, so at most `pool_workers` ranks ever run
+    /// concurrently no matter how large `world` is.
+    pub fn create_pooled(world: usize, gpus_per_node: usize, pool_workers: usize) -> Vec<Rank> {
+        Self::build(world, gpus_per_node, Some(RunGate::new(pool_workers)))
+    }
+
+    fn build(world: usize, gpus_per_node: usize, gate: Option<Arc<RunGate>>) -> Vec<Rank> {
         assert!(world >= 1, "group needs at least one rank");
+        assert!(
+            gpus_per_node >= 1,
+            "topology needs at least one GPU per node"
+        );
         let core = Arc::new(GroupCore {
             world,
+            gpus_per_node,
             barrier: AbortBarrier::new(world),
-            mailbox_f32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
-            mailbox_u16: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_u32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_f32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_u16: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_f64: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
+            reduce_f32: Mutex::new(Vec::new()),
+            gate,
             traffic: TrafficRecorder::new(),
         });
         (0..world)
@@ -324,6 +398,167 @@ pub fn ring_allreduce_send_bytes(n: usize, world: usize, rank: usize, elem_bytes
     elems * elem_bytes
 }
 
+/// Elements `rank` sends during the reduce-scatter half of the ring
+/// schedule alone (the byte model of [`Rank::reduce_scatter_sum`] and of
+/// the hierarchical schedule's intra-node phase 1).
+fn ring_reduce_scatter_send_elems(n: usize, world: usize, rank: usize) -> u64 {
+    if world <= 1 {
+        return 0;
+    }
+    (0..world - 1)
+        .map(|s| chunk_range(n, world, (rank + world - s) % world).len() as u64)
+        .sum()
+}
+
+/// The [`Tier`] of the flat ring link `rank → (rank + 1) % world` on a
+/// cluster of `gpus_per_node`-GPU nodes: intra-node unless the link
+/// crosses a node boundary (including the wrap-around link whenever the
+/// group spans more than one node).
+pub fn ring_send_tier(world: usize, gpus_per_node: usize, rank: usize) -> Tier {
+    assert!(
+        gpus_per_node >= 1,
+        "topology needs at least one GPU per node"
+    );
+    let next = (rank + 1) % world;
+    if rank / gpus_per_node == next / gpus_per_node {
+        Tier::Intra
+    } else {
+        Tier::Inter
+    }
+}
+
+/// Tier split of a peer-to-peer exchange pattern where `rank` sends
+/// `payload_bytes` to every other rank directly (ALLGATHER, scalar
+/// reduce, broadcast root): peers on `rank`'s own node receive over the
+/// intra tier, all others over the inter tier.
+pub fn peer_exchange_tier_bytes(
+    world: usize,
+    gpus_per_node: usize,
+    rank: usize,
+    payload_bytes: u64,
+) -> TierBytes {
+    assert!(
+        gpus_per_node >= 1,
+        "topology needs at least one GPU per node"
+    );
+    if world <= 1 {
+        return TierBytes::default();
+    }
+    let node = rank / gpus_per_node;
+    let node_size = gpus_per_node.min(world - node * gpus_per_node);
+    TierBytes {
+        intra: payload_bytes * (node_size as u64 - 1),
+        inter: payload_bytes * (world - node_size) as u64,
+    }
+}
+
+/// Exact per-tier bytes `rank` sends during one hierarchical ALLREDUCE
+/// over `n` elements of `elem_bytes` each, on a cluster of
+/// `gpus_per_node`-GPU nodes — the analytic mirror of
+/// [`Rank::all_reduce_sum_hierarchical`]'s recorder charges, phase by
+/// phase, so per-tier analytic == recorded holds to the byte even on
+/// ragged worlds (`world % gpus_per_node != 0`).
+///
+/// The modelled schedule:
+/// 1. intra-node ring reduce-scatter over the node's `m` members
+///    (each member sends `(m−1)/m · n` elements, intra tier);
+/// 2. each non-leader hands its owned fully-node-reduced chunk to the
+///    node leader (intra tier);
+/// 3. leaders run a flat ring ALLREDUCE over the `⌈world/gpus_per_node⌉`
+///    nodes (inter tier — the only traffic on the Infiniband pipe);
+/// 4. each leader broadcasts the final `n` elements to its `m−1`
+///    members (intra tier).
+///
+/// Groups that fit in one node (`world <= gpus_per_node`) fall back to
+/// the flat ring, all intra.
+pub fn hierarchical_allreduce_send_bytes(
+    n: usize,
+    world: usize,
+    gpus_per_node: usize,
+    rank: usize,
+    elem_bytes: u64,
+) -> TierBytes {
+    assert!(
+        gpus_per_node >= 1,
+        "topology needs at least one GPU per node"
+    );
+    if world <= 1 {
+        return TierBytes::default();
+    }
+    if world <= gpus_per_node {
+        return TierBytes {
+            intra: ring_allreduce_send_bytes(n, world, rank, elem_bytes),
+            inter: 0,
+        };
+    }
+    let node = rank / gpus_per_node;
+    let leader = node * gpus_per_node;
+    let m = gpus_per_node.min(world - leader);
+    let j = rank - leader;
+    let n_nodes = world.div_ceil(gpus_per_node);
+    // Phase 1: intra-node ring reduce-scatter over m members.
+    let mut intra_elems = ring_reduce_scatter_send_elems(n, m, j);
+    if rank != leader {
+        // Phase 2: hand the owned chunk to the leader.
+        intra_elems += chunk_range(n, m, (j + 1) % m).len() as u64;
+    } else {
+        // Phase 4: broadcast the result to the other members.
+        intra_elems += (n as u64) * (m as u64 - 1);
+    }
+    // Phase 3: leaders-only flat ring across nodes.
+    let inter = if rank == leader {
+        ring_allreduce_send_bytes(n, n_nodes, node, elem_bytes)
+    } else {
+        0
+    };
+    TierBytes {
+        intra: intra_elems * elem_bytes,
+        inter,
+    }
+}
+
+/// Canonical rendezvous reduction: left-associated elementwise sum in
+/// ascending rank order, written into the group's result buffer. Runs
+/// exactly once per collective, by the barrier's last arriver.
+fn leader_sum_f32(core: &GroupCore) {
+    let mut acc = core.reduce_f32.lock();
+    {
+        let first = core.gather_f32[0].lock();
+        acc.clear();
+        acc.extend_from_slice(&first);
+    }
+    for s in 1..core.world {
+        let slot = core.gather_f32[s].lock();
+        for (a, &x) in acc.iter_mut().zip(slot.iter()) {
+            *a += x;
+        }
+    }
+}
+
+/// Canonical rendezvous reduction emulating the FP16 ring's per-hop
+/// quantisation (§III-C): the running partial is scaled, down-cast to
+/// binary16, up-cast and un-scaled at every hop — `G−1` hops in
+/// canonical ascending order, then one final wire-quantisation so the
+/// distributed value is the wire value, bit-identical on every rank.
+fn leader_sum_f16_emulated(core: &GroupCore, scale: f32) {
+    let inv = 1.0 / scale;
+    let mut acc = core.reduce_f32.lock();
+    {
+        let first = core.gather_f32[0].lock();
+        acc.clear();
+        acc.extend_from_slice(&first);
+    }
+    for s in 1..core.world {
+        let slot = core.gather_f32[s].lock();
+        for (a, &x) in acc.iter_mut().zip(slot.iter()) {
+            *a = x + f16_bits_to_f32(f32_to_f16_bits(*a * scale)) * inv;
+        }
+    }
+    for a in acc.iter_mut() {
+        *a = f16_bits_to_f32(f32_to_f16_bits(*a * scale)) * inv;
+    }
+}
+
 impl Rank {
     /// This rank's id in `0..world()`.
     pub fn rank(&self) -> usize {
@@ -335,18 +570,50 @@ impl Rank {
         self.core.world
     }
 
+    /// Node size used for tier attribution (`world` for single-node
+    /// legacy groups).
+    pub fn gpus_per_node(&self) -> usize {
+        self.core.gpus_per_node
+    }
+
+    /// The group's bounded run pool, if it was created with
+    /// [`CommGroup::create_pooled`]. Exposed so tests can assert the
+    /// scheduling invariant `peak_running() <= cap()`.
+    pub fn run_gate(&self) -> Option<Arc<RunGate>> {
+        self.core.gate.clone()
+    }
+
     /// Synchronises all ranks; `Err` if any rank aborted the group.
     pub fn barrier(&self) -> Result<(), CommError> {
-        match &self.wait_ns {
-            None => self.core.barrier.wait(),
+        self.sync_leader(|| {})
+    }
+
+    /// The rendezvous every collective funnels through: release the run
+    /// slot (parked ranks must not occupy the bounded pool), meet at
+    /// the abort-aware barrier — where the last arriver runs
+    /// `leader_work` — then re-acquire a slot before resuming.
+    ///
+    /// The leader computes slot-free by design: when it runs, every
+    /// other rank is parked inside this same barrier, so the pool
+    /// bound on *runnable* ranks still holds.
+    fn sync_leader<F: FnOnce()>(&self, leader_work: F) -> Result<(), CommError> {
+        if let Some(gate) = &self.core.gate {
+            gate.release();
+        }
+        let res = match &self.wait_ns {
+            None => self.core.barrier.wait_leader(leader_work),
             Some(counter) => {
                 let start = Instant::now();
-                let res = self.core.barrier.wait();
+                let res = self.core.barrier.wait_leader(leader_work);
                 let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 counter.fetch_add(waited, Ordering::Relaxed);
                 res
             }
+        };
+        if let Some(gate) = &self.core.gate {
+            gate.acquire();
         }
+        res
     }
 
     /// Turns on wall-clock accounting of the time this rank spends
@@ -412,10 +679,16 @@ impl Rank {
         self.barrier()
     }
 
-    /// Ring ALLREDUCE (sum) over `data`; on return every rank holds the
-    /// elementwise sum across all ranks. All ranks must pass equal-length
-    /// buffers. `Err` (with the buffer in an unspecified partial state)
-    /// if any rank aborts the group mid-collective.
+    /// ALLREDUCE (sum) over `data`; on return every rank holds the
+    /// elementwise sum across all ranks, computed in canonical ascending
+    /// rank order (bit-identical on every rank and under every wire
+    /// schedule). All ranks must pass equal-length buffers. `Err` (with
+    /// the buffer in an unspecified partial state) if any rank aborts
+    /// the group mid-collective.
+    ///
+    /// Wire accounting charges the flat ring schedule: this rank's
+    /// `2(G−1)/G · n` elements land on the tier of its ring link
+    /// `r → r+1` under the group topology.
     pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), CommError> {
         let g = self.core.world;
         if self.rank == 0 {
@@ -426,59 +699,32 @@ impl Rank {
         }
         let n = data.len();
         let r = self.rank;
-        let next = (r + 1) % g;
-
-        // Phase 1: reduce-scatter. At step s, send chunk (r − s) mod G,
-        // receive chunk (r − s − 1) mod G and accumulate.
-        for s in 0..g - 1 {
-            let send_chunk = (r + g - s) % g;
-            let range = chunk_range(n, g, send_chunk);
-            {
-                let mut mb = self.core.mailbox_f32[next].lock();
-                mb.clear();
-                mb.extend_from_slice(&data[range.clone()]);
-            }
-            self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier()?;
-            let recv_chunk = (r + g - s - 1) % g;
-            let rr = chunk_range(n, g, recv_chunk);
-            {
-                let mb = self.core.mailbox_f32[r].lock();
-                for (d, &m) in data[rr].iter_mut().zip(mb.iter()) {
-                    *d += m;
-                }
-            }
-            self.barrier()?;
+        {
+            let mut slot = self.core.gather_f32[r].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
         }
-
-        // Phase 2: all-gather of the reduced chunks. After reduce-scatter,
-        // rank r owns chunk (r + 1) mod G fully reduced.
-        for s in 0..g - 1 {
-            let send_chunk = (r + 1 + g - s) % g;
-            let range = chunk_range(n, g, send_chunk);
-            {
-                let mut mb = self.core.mailbox_f32[next].lock();
-                mb.clear();
-                mb.extend_from_slice(&data[range.clone()]);
-            }
-            self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier()?;
-            let recv_chunk = (r + g - s) % g;
-            let rr = chunk_range(n, g, recv_chunk);
-            {
-                let mb = self.core.mailbox_f32[r].lock();
-                data[rr].copy_from_slice(&mb);
-            }
-            self.barrier()?;
-        }
+        self.core.traffic.record_allreduce_tier(
+            ring_send_tier(g, self.core.gpus_per_node, r),
+            ring_allreduce_send_bytes(n, g, r, 4),
+        );
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f32(core))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
+        // No departure barrier needed: a peer still copying this result
+        // cannot be overtaken, because the next rendezvous's leader work
+        // only runs once *every* rank has finished here and arrived there.
         Ok(())
     }
 
-    /// Ring ALLREDUCE with FP16 wire compression and compression-scaling
-    /// (§III-C): each hop multiplies by `scale`, down-casts to binary16,
-    /// and the receiver up-casts and divides. Halves wire bytes relative
-    /// to [`Rank::all_reduce_sum`]; quantisation error accumulates per
-    /// hop as on real FP16 interconnect paths.
+    /// ALLREDUCE with FP16 wire compression and compression-scaling
+    /// (§III-C): the reduction emulates the compressed ring hop by hop —
+    /// every hop multiplies the running partial by `scale`, down-casts
+    /// to binary16, and the receiver up-casts and divides, with a final
+    /// wire-quantisation so the distributed value *is* the wire value.
+    /// Halves wire bytes relative to [`Rank::all_reduce_sum`];
+    /// quantisation error accumulates per hop as on real FP16
+    /// interconnect paths, and every rank ends bit-identical.
     pub fn all_reduce_sum_f16(&self, data: &mut [f32], scale: f32) -> Result<(), CommError> {
         assert!(scale > 0.0, "compression scale must be positive");
         let g = self.core.world;
@@ -490,68 +736,20 @@ impl Rank {
         }
         let n = data.len();
         let r = self.rank;
-        let next = (r + 1) % g;
-        let inv = 1.0 / scale;
-
-        for s in 0..g - 1 {
-            let send_chunk = (r + g - s) % g;
-            let range = chunk_range(n, g, send_chunk);
-            {
-                let mut mb = self.core.mailbox_u16[next].lock();
-                mb.clear();
-                mb.extend(
-                    data[range.clone()]
-                        .iter()
-                        .map(|&x| f32_to_f16_bits(x * scale)),
-                );
-            }
-            self.core.traffic.record_allreduce((range.len() * 2) as u64);
-            self.barrier()?;
-            let recv_chunk = (r + g - s - 1) % g;
-            let rr = chunk_range(n, g, recv_chunk);
-            {
-                let mb = self.core.mailbox_u16[r].lock();
-                for (d, &h) in data[rr].iter_mut().zip(mb.iter()) {
-                    *d += f16_bits_to_f32(h) * inv;
-                }
-            }
-            self.barrier()?;
-        }
-
-        // Quantise the owned (fully-reduced) chunk before distributing so
-        // every rank ends with bit-identical values — mirroring real FP16
-        // pipelines where the canonical value is the wire value.
         {
-            let owned = chunk_range(n, g, (r + 1) % g);
-            for x in &mut data[owned] {
-                *x = f16_bits_to_f32(f32_to_f16_bits(*x * scale)) * inv;
-            }
+            let mut slot = self.core.gather_f32[r].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
         }
-
-        for s in 0..g - 1 {
-            let send_chunk = (r + 1 + g - s) % g;
-            let range = chunk_range(n, g, send_chunk);
-            {
-                let mut mb = self.core.mailbox_u16[next].lock();
-                mb.clear();
-                mb.extend(
-                    data[range.clone()]
-                        .iter()
-                        .map(|&x| f32_to_f16_bits(x * scale)),
-                );
-            }
-            self.core.traffic.record_allreduce((range.len() * 2) as u64);
-            self.barrier()?;
-            let recv_chunk = (r + g - s) % g;
-            let rr = chunk_range(n, g, recv_chunk);
-            {
-                let mb = self.core.mailbox_u16[r].lock();
-                for (d, &h) in data[rr].iter_mut().zip(mb.iter()) {
-                    *d = f16_bits_to_f32(h) * inv;
-                }
-            }
-            self.barrier()?;
-        }
+        // Exactly half the f32 ring's bytes: same chunk schedule, 2-byte
+        // elements.
+        self.core.traffic.record_allreduce_tier(
+            ring_send_tier(g, self.core.gpus_per_node, r),
+            ring_allreduce_send_bytes(n, g, r, 2),
+        );
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f16_emulated(core, scale))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
         Ok(())
     }
 
@@ -578,10 +776,16 @@ impl Rank {
             slot.clear();
             slot.extend_from_slice(local);
         }
-        // Each rank's payload travels to G−1 peers.
+        // Each rank's payload travels to G−1 peers: same-node peers over
+        // the intra tier, the rest over the inter tier.
         self.core
             .traffic
-            .record_allgather((local.len() * 4 * (g - 1)) as u64);
+            .record_allgather_split(peer_exchange_tier_bytes(
+                g,
+                self.core.gpus_per_node,
+                self.rank,
+                (local.len() * 4) as u64,
+            ));
         self.barrier()?;
         out.clear();
         for s in 0..g {
@@ -612,7 +816,12 @@ impl Rank {
         }
         self.core
             .traffic
-            .record_allgather((local.len() * 4 * (g - 1)) as u64);
+            .record_allgather_split(peer_exchange_tier_bytes(
+                g,
+                self.core.gpus_per_node,
+                self.rank,
+                (local.len() * 4) as u64,
+            ));
         self.barrier()?;
         out.clear();
         for s in 0..g {
@@ -648,7 +857,12 @@ impl Rank {
         }
         self.core
             .traffic
-            .record_allgather((local.len() * 2 * (g - 1)) as u64);
+            .record_allgather_split(peer_exchange_tier_bytes(
+                g,
+                self.core.gpus_per_node,
+                self.rank,
+                (local.len() * 2) as u64,
+            ));
         self.barrier()?;
         let inv = 1.0 / scale;
         out.clear();
@@ -668,7 +882,14 @@ impl Rank {
             slot.clear();
             slot.push(v);
         }
-        self.core.traffic.record_allreduce((8 * (g - 1)) as u64);
+        self.core
+            .traffic
+            .record_allreduce_split(peer_exchange_tier_bytes(
+                g,
+                self.core.gpus_per_node,
+                self.rank,
+                8,
+            ));
         self.barrier()?;
         let mut sum = 0.0;
         for s in 0..g {
@@ -680,9 +901,12 @@ impl Rank {
 
     /// Reduce-scatter (sum): after the call, this rank holds the fully
     /// reduced chunk `chunk_range(n, G, (rank + 1) % G)` of the buffer in
-    /// place (other regions hold partial sums and must be treated as
+    /// place (other regions are untouched input and must be treated as
     /// scratch). This is the first phase of the ring ALLREDUCE exposed on
-    /// its own, the building block of hierarchical schedules.
+    /// its own, the building block of hierarchical schedules; the owned
+    /// chunk is the canonical ascending-rank sum, identical to the same
+    /// region after [`Rank::all_reduce_sum`]. Wire accounting charges
+    /// the reduce-scatter half of the ring schedule.
     pub fn reduce_scatter_sum(
         &self,
         data: &mut [f32],
@@ -693,136 +917,78 @@ impl Rank {
         if g == 1 {
             return Ok(0..n);
         }
-        let next = (r + 1) % g;
-        for s in 0..g - 1 {
-            let send_chunk = (r + g - s) % g;
-            let range = chunk_range(n, g, send_chunk);
-            {
-                let mut mb = self.core.mailbox_f32[next].lock();
-                mb.clear();
-                mb.extend_from_slice(&data[range.clone()]);
-            }
-            self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            self.barrier()?;
-            let recv_chunk = (r + g - s - 1) % g;
-            let rr = chunk_range(n, g, recv_chunk);
-            {
-                let mb = self.core.mailbox_f32[r].lock();
-                for (d, &m) in data[rr].iter_mut().zip(mb.iter()) {
-                    *d += m;
-                }
-            }
-            self.barrier()?;
-        }
-        Ok(chunk_range(n, g, (r + 1) % g))
-    }
-
-    /// Hierarchical ALLREDUCE for a cluster of `gpus_per_node`-GPU nodes:
-    /// (1) reduce to each node's leader over the "fast" intra-node links,
-    /// (2) ring-ALLREDUCE across leaders only (the expensive inter-node
-    /// hop moves `Θ(n)` once per node instead of per GPU), (3) broadcast
-    /// within each node. Falls back to the flat ring when the group fits
-    /// in one node.
-    ///
-    /// Node `i` owns ranks `[i·gpus_per_node, (i+1)·gpus_per_node)`;
-    /// groups whose size is not a multiple of `gpus_per_node` get a
-    /// smaller last node.
-    pub fn all_reduce_sum_hierarchical(
-        &self,
-        data: &mut [f32],
-        gpus_per_node: usize,
-    ) -> Result<(), CommError> {
-        assert!(gpus_per_node >= 1, "need at least one GPU per node");
-        let g = self.core.world;
-        if g <= gpus_per_node {
-            return self.all_reduce_sum(data);
-        }
-        let r = self.rank;
-        let node = r / gpus_per_node;
-        let leader = node * gpus_per_node;
-        let node_end = (leader + gpus_per_node).min(g);
-
-        // Phase 1: node-local reduction to the leader through the
-        // leader's gather slot (each member posts, leader accumulates).
         {
             let mut slot = self.core.gather_f32[r].lock();
             slot.clear();
             slot.extend_from_slice(data);
         }
-        if r != leader {
-            self.core.traffic.record_allreduce((data.len() * 4) as u64);
-        }
-        self.barrier()?;
-        if r == leader {
-            for member in leader + 1..node_end {
-                let slot = self.core.gather_f32[member].lock();
-                for (d, &m) in data.iter_mut().zip(slot.iter()) {
-                    *d += m;
-                }
-            }
-        }
-        self.barrier()?;
+        self.core.traffic.record_allreduce_tier(
+            ring_send_tier(g, self.core.gpus_per_node, r),
+            ring_reduce_scatter_send_elems(n, g, r) * 4,
+        );
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f32(core))?;
+        let owned = chunk_range(n, g, (r + 1) % g);
+        data[owned.clone()].copy_from_slice(&self.core.reduce_f32.lock()[owned.clone()]);
+        Ok(owned)
+    }
 
-        // Phase 2: leaders ring-reduce among themselves through the
-        // leader-indexed mailboxes. Non-leaders just keep the barriers.
-        let n_nodes = g.div_ceil(gpus_per_node);
-        let n = data.len();
-        for s in 0..n_nodes - 1 {
-            if r == leader {
-                let next_leader = ((node + 1) % n_nodes) * gpus_per_node;
-                let send_chunk = (node + n_nodes - s) % n_nodes;
-                let range = chunk_range(n, n_nodes, send_chunk);
-                let mut mb = self.core.mailbox_f32[next_leader].lock();
-                mb.clear();
-                mb.extend_from_slice(&data[range.clone()]);
-                self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            }
-            self.barrier()?;
-            if r == leader {
-                let recv_chunk = (node + n_nodes - s - 1) % n_nodes;
-                let rr = chunk_range(n, n_nodes, recv_chunk);
-                let mb = self.core.mailbox_f32[r].lock();
-                for (d, &m) in data[rr].iter_mut().zip(mb.iter()) {
-                    *d += m;
-                }
-            }
-            self.barrier()?;
+    /// Hierarchical two-tier ALLREDUCE for a cluster of
+    /// `gpus_per_node`-GPU nodes, the schedule of §V-C: (1) intra-node
+    /// ring reduce-scatter over PCIe, (2) owned-chunk hand-off to the
+    /// node leader, (3) flat ring ALLREDUCE across leaders only — the
+    /// expensive Infiniband hop moves `Θ(n)` once per node instead of
+    /// per GPU — and (4) intra-node broadcast. Falls back to the flat
+    /// ring when the group fits in one node.
+    ///
+    /// The *result* is the canonical ascending-rank sum, bit-identical
+    /// to [`Rank::all_reduce_sum`] on every rank; the schedule above is
+    /// what the per-tier wire accounting charges, phase by phase,
+    /// mirroring [`hierarchical_allreduce_send_bytes`] exactly (ragged
+    /// last nodes included). Node `i` owns ranks
+    /// `[i·gpus_per_node, (i+1)·gpus_per_node)`.
+    ///
+    /// `gpus_per_node == 0` is an invalid topology and yields a typed
+    /// [`CommError`] on every rank — recoverable, the group is *not*
+    /// poisoned (all ranks pass the same argument under SPMD, so all
+    /// observe the same error and stay in lockstep).
+    pub fn all_reduce_sum_hierarchical(
+        &self,
+        data: &mut [f32],
+        gpus_per_node: usize,
+    ) -> Result<(), CommError> {
+        if gpus_per_node == 0 {
+            return Err(CommError {
+                failed_rank: self.rank,
+                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
+            });
         }
-        for s in 0..n_nodes - 1 {
-            if r == leader {
-                let next_leader = ((node + 1) % n_nodes) * gpus_per_node;
-                let send_chunk = (node + 1 + n_nodes - s) % n_nodes;
-                let range = chunk_range(n, n_nodes, send_chunk);
-                let mut mb = self.core.mailbox_f32[next_leader].lock();
-                mb.clear();
-                mb.extend_from_slice(&data[range.clone()]);
-                self.core.traffic.record_allreduce((range.len() * 4) as u64);
-            }
-            self.barrier()?;
-            if r == leader {
-                let recv_chunk = (node + n_nodes - s) % n_nodes;
-                let rr = chunk_range(n, n_nodes, recv_chunk);
-                let mb = self.core.mailbox_f32[r].lock();
-                data[rr].copy_from_slice(&mb);
-            }
-            self.barrier()?;
+        let g = self.core.world;
+        if g <= gpus_per_node {
+            return self.all_reduce_sum(data);
         }
-
-        // Phase 3: node-local broadcast from the leader.
-        if r == leader {
-            let mut slot = self.core.gather_f32[leader].lock();
+        if self.rank == 0 {
+            self.core.traffic.count_allreduce_op();
+        }
+        let r = self.rank;
+        {
+            let mut slot = self.core.gather_f32[r].lock();
             slot.clear();
             slot.extend_from_slice(data);
-            self.core
-                .traffic
-                .record_allreduce((data.len() * (node_end - leader - 1) * 4) as u64);
         }
-        self.barrier()?;
-        if r != leader {
-            let slot = self.core.gather_f32[leader].lock();
-            data.copy_from_slice(&slot);
-        }
-        self.barrier()
+        self.core
+            .traffic
+            .record_allreduce_split(hierarchical_allreduce_send_bytes(
+                data.len(),
+                g,
+                gpus_per_node,
+                r,
+                4,
+            ));
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f32(core))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
+        Ok(())
     }
 
     /// Broadcasts `data` from `root` to all ranks.
@@ -838,7 +1004,12 @@ impl Rank {
             slot.extend_from_slice(data);
             self.core
                 .traffic
-                .record_broadcast((data.len() * 4 * (g - 1)) as u64);
+                .record_broadcast_split(peer_exchange_tier_bytes(
+                    g,
+                    self.core.gpus_per_node,
+                    root,
+                    (data.len() * 4) as u64,
+                ));
         }
         self.barrier()?;
         if self.rank != root {
@@ -1534,5 +1705,254 @@ mod tests {
             (first, rank.take_barrier_wait_ns())
         });
         assert_eq!(drained[0].1, 0, "counter must reset on take");
+    }
+
+    /// Like `run_group` but over an explicit-topology group.
+    fn run_group_topo<T: Send>(
+        world: usize,
+        gpus_per_node: usize,
+        f: impl Fn(Rank) -> T + Sync,
+    ) -> Vec<T> {
+        crate::pool::run_ranks(CommGroup::create_with_topology(world, gpus_per_node), &f)
+    }
+
+    #[test]
+    fn hierarchical_gpn_zero_is_typed_error_and_recoverable() {
+        // Satellite bugfix: an invalid topology must be a typed
+        // CommError, not a panic — and must NOT poison the group, so
+        // the same ranks can go on to run valid collectives.
+        let results = run_group(4, |rank| {
+            let mut data = vec![rank.rank() as f32; 5];
+            let err = rank.all_reduce_sum_hierarchical(&mut data, 0).unwrap_err();
+            assert_eq!(err.failed_rank, rank.rank());
+            assert!(err.reason.contains("gpus_per_node"), "{}", err.reason);
+            // Group still healthy: a valid collective succeeds.
+            rank.all_reduce_sum_hierarchical(&mut data, 2).unwrap();
+            data[0]
+        });
+        for r in &results {
+            assert_eq!(*r, 6.0); // 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_bit_exactly() {
+        // Canonical ascending-rank arithmetic makes the hierarchical
+        // schedule bit-identical to the flat ring — including ragged
+        // last nodes — not merely close.
+        for (world, per_node) in [(4usize, 2usize), (6, 2), (8, 4), (8, 3), (5, 2), (9, 4)] {
+            let n = 33;
+            let mk =
+                |r: usize| -> Vec<f32> { (0..n).map(|i| (i + r * 10) as f32 * 0.37).collect() };
+            let flat = run_group(world, |rank| {
+                let mut data = mk(rank.rank());
+                rank.all_reduce_sum(&mut data).unwrap();
+                data
+            });
+            let hier = run_group(world, |rank| {
+                let mut data = mk(rank.rank());
+                rank.all_reduce_sum_hierarchical(&mut data, per_node)
+                    .unwrap();
+                data
+            });
+            for r in 0..world {
+                assert_eq!(flat[r], hier[r], "world {world}/{per_node} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_tier_bytes_analytic_match_recorder_exactly() {
+        // Satellite bugfix: per-tier analytic == recorded, to the byte,
+        // separately for intra and inter — divisible and ragged worlds.
+        for (world, per_node) in [
+            (4usize, 2usize), // divisible
+            (8, 4),           // divisible
+            (8, 2),           // divisible, 4 nodes
+            (7, 3),           // ragged last node of 1
+            (5, 2),           // ragged last node of 1
+            (9, 4),           // ragged last node of 1
+            (11, 4),          // ragged last node of 3
+        ] {
+            for n in [0usize, 33, 128] {
+                let snap = run_group(world, |rank| {
+                    let mut data = vec![1.0f32; n];
+                    rank.reset_traffic().unwrap();
+                    rank.all_reduce_sum_hierarchical(&mut data, per_node)
+                        .unwrap();
+                    rank.traffic()
+                })[0];
+                let mut analytic = TierBytes::default();
+                for r in 0..world {
+                    analytic += hierarchical_allreduce_send_bytes(n, world, per_node, r, 4);
+                }
+                assert_eq!(
+                    (snap.allreduce_intra_bytes, snap.allreduce_inter_bytes),
+                    (analytic.intra, analytic.inter),
+                    "world {world}/{per_node} n {n}"
+                );
+                // Only leaders touch the inter tier; with >1 node and
+                // a non-empty payload there must be inter traffic.
+                if n > 0 && world > per_node {
+                    assert!(snap.allreduce_inter_bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_ring_tier_split_follows_group_topology() {
+        // A flat allreduce on a multi-node group charges each rank's
+        // ring bytes to the tier of its r → r+1 link; node-boundary
+        // ranks (and the wrap link) are inter.
+        let (world, per_node, n) = (8usize, 4usize, 100usize);
+        let snap = run_group_topo(world, per_node, |rank| {
+            let mut data = vec![1.0f32; n];
+            rank.all_reduce_sum(&mut data).unwrap();
+            rank.traffic()
+        })[0];
+        let mut expect = TierBytes::default();
+        for r in 0..world {
+            let bytes = ring_allreduce_send_bytes(n, world, r, 4);
+            match ring_send_tier(world, per_node, r) {
+                Tier::Intra => expect.intra += bytes,
+                Tier::Inter => expect.inter += bytes,
+            }
+        }
+        assert_eq!(snap.allreduce_intra_bytes, expect.intra);
+        assert_eq!(snap.allreduce_inter_bytes, expect.inter);
+        // Ranks 3 and 7 cross node boundaries: exactly 2 of 8 ring
+        // links are inter.
+        assert!(expect.inter > 0 && expect.intra > expect.inter);
+    }
+
+    #[test]
+    fn gather_and_scalar_tier_split_follows_group_topology() {
+        let (world, per_node) = (5usize, 2usize); // nodes {0,1},{2,3},{4}
+        let snap = run_group_topo(world, per_node, |rank| {
+            rank.all_gather_f32(&[1.0f32; 3]).unwrap();
+            rank.all_reduce_scalar_f64(1.0).unwrap();
+            rank.traffic()
+        })[0];
+        let mut ag = TierBytes::default();
+        let mut sc = TierBytes::default();
+        for r in 0..world {
+            ag += peer_exchange_tier_bytes(world, per_node, r, 12);
+            sc += peer_exchange_tier_bytes(world, per_node, r, 8);
+        }
+        assert_eq!(snap.allgather_intra_bytes, ag.intra);
+        assert_eq!(snap.allgather_inter_bytes, ag.inter);
+        assert_eq!(snap.allreduce_intra_bytes, sc.intra);
+        assert_eq!(snap.allreduce_inter_bytes, sc.inter);
+        // Totals stay what the single-tier contract always said.
+        assert_eq!(snap.allgather_bytes, (world * 3 * 4 * (world - 1)) as u64);
+        assert_eq!(snap.allreduce_bytes, (world * 8 * (world - 1)) as u64);
+    }
+
+    #[test]
+    fn reduce_scatter_charges_rs_half_of_ring() {
+        let (world, n) = (4usize, 25usize);
+        let snap = run_group(world, |rank| {
+            let mut data = vec![1.0f32; n];
+            rank.reduce_scatter_sum(&mut data).unwrap();
+            rank.traffic()
+        })[0];
+        let expect: u64 = (0..world)
+            .map(|r| ring_reduce_scatter_send_elems(n, world, r) * 4)
+            .sum();
+        assert_eq!(snap.allreduce_bytes, expect);
+    }
+
+    #[test]
+    fn pooled_group_bounds_concurrency_and_matches_unpooled() {
+        // World 16 over 2 run slots: results bit-match the ungated
+        // group and the pool cap is never exceeded.
+        let (world, per_node, cap, n) = (16usize, 4usize, 2usize, 41usize);
+        let ranks = CommGroup::create_pooled(world, per_node, cap);
+        let gate = ranks[0].run_gate().expect("pooled group has a gate");
+        let body = |rank: Rank| {
+            let mut flat: Vec<f32> = (0..n).map(|i| (i * (rank.rank() + 1)) as f32).collect();
+            let mut hier = flat.clone();
+            rank.all_reduce_sum(&mut flat).unwrap();
+            rank.all_reduce_sum_hierarchical(&mut hier, rank.gpus_per_node())
+                .unwrap();
+            assert_eq!(flat, hier);
+            flat
+        };
+        let pooled = crate::pool::run_ranks(ranks, body);
+        assert!(
+            gate.peak_running() <= cap,
+            "pool bound violated: peak {} > cap {cap}",
+            gate.peak_running()
+        );
+        assert_eq!(gate.running(), 0, "all slots returned after the run");
+        let unpooled = run_group(world, body);
+        assert_eq!(pooled, unpooled);
+    }
+
+    #[test]
+    fn killing_a_node_leader_poisons_both_tiers_within_watchdog() {
+        // Satellite: rank 4 is the leader of node 1 at gpn=4. Its death
+        // mid-schedule must fail every survivor on both tiers (members
+        // of its own node and leaders of other nodes alike) instead of
+        // deadlocking the leader ring. Watchdog-wrapped: a regression
+        // hangs the detached thread, not the harness.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let results = run_group_topo(16, 4, |rank| -> Result<(), CommError> {
+                if rank.rank() == 4 {
+                    rank.abort("leader of node 1 killed");
+                    return Ok(());
+                }
+                let mut data = vec![1.0f32; 64];
+                loop {
+                    // Survivors keep issuing hierarchical collectives
+                    // until the poison lands (at most one rendezvous).
+                    rank.all_reduce_sum_hierarchical(&mut data, 4)?;
+                }
+            });
+            let _ = tx.send(results);
+        });
+        let results = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("watchdog expired: leader kill deadlocked the group");
+        for (r, res) in results.iter().enumerate() {
+            if r == 4 {
+                assert_eq!(*res, Ok(()));
+            } else {
+                let err = res.clone().unwrap_err();
+                assert_eq!(err.failed_rank, 4, "rank {r} misattributed the kill");
+                assert!(err.reason.contains("leader of node 1"));
+            }
+        }
+    }
+
+    #[test]
+    fn tier_helpers_cover_edges() {
+        // Single node: every ring link intra, no peer-exchange inter.
+        for r in 0..4 {
+            assert_eq!(ring_send_tier(4, 4, r), Tier::Intra);
+            assert_eq!(ring_send_tier(4, 8, r), Tier::Intra);
+        }
+        // Two nodes of 2: links 1→2 and 3→0 cross.
+        assert_eq!(ring_send_tier(4, 2, 0), Tier::Intra);
+        assert_eq!(ring_send_tier(4, 2, 1), Tier::Inter);
+        assert_eq!(ring_send_tier(4, 2, 2), Tier::Intra);
+        assert_eq!(ring_send_tier(4, 2, 3), Tier::Inter);
+        // Singleton world: no peers, no bytes.
+        assert_eq!(peer_exchange_tier_bytes(1, 1, 0, 100), TierBytes::default());
+        assert_eq!(
+            hierarchical_allreduce_send_bytes(64, 1, 1, 0, 4),
+            TierBytes::default()
+        );
+        // One-node fallback is the flat ring, all intra.
+        let tb = hierarchical_allreduce_send_bytes(64, 4, 8, 1, 4);
+        assert_eq!(tb.intra, ring_allreduce_send_bytes(64, 4, 1, 4));
+        assert_eq!(tb.inter, 0);
+        // Ragged singleton last node: its leader pays no intra bytes
+        // beyond nothing (m == 1) but full inter ring bytes.
+        let tb = hierarchical_allreduce_send_bytes(64, 5, 2, 4, 4);
+        assert_eq!(tb.intra, 0);
+        assert_eq!(tb.inter, ring_allreduce_send_bytes(64, 3, 2, 4));
     }
 }

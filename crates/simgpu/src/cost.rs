@@ -78,6 +78,72 @@ impl CostModel {
         2.0 * (g - 1.0) * alpha + bytes as f64 / beta
     }
 
+    /// Per-tier seconds *rank `rank`* spends in a hierarchical two-tier
+    /// ALLREDUCE of `n_elems` elements of `elem_bytes` each over `gpus`
+    /// GPUs laid out `gpus_per_node` per node — the α–β mirror of
+    /// [`crate::comm::hierarchical_allreduce_send_bytes`]'s four-phase
+    /// byte schedule. Returns `(intra_secs, inter_secs)`:
+    ///
+    /// * intra: the node-local hops (ring reduce-scatter over the `m`
+    ///   members, the non-leader chunk hand-off *or* the leader's final
+    ///   broadcast) at intra-node α/β;
+    /// * inter: leaders only — the `2(N−1)`-hop flat ring over the `N`
+    ///   nodes at inter-node α/β, with this leader's exact ring bytes.
+    ///
+    /// Quantise each component separately (`secs_to_ps`) and the split
+    /// still reconciles exactly: `wire = intra_ps + inter_ps` by
+    /// construction. Falls back to the flat
+    /// [`CostModel::allreduce_rank_time`] (all intra) when the group
+    /// fits in one node.
+    pub fn hierarchical_allreduce_rank_time(
+        &self,
+        n_elems: usize,
+        elem_bytes: u64,
+        gpus: usize,
+        gpus_per_node: usize,
+        rank: usize,
+    ) -> (f64, f64) {
+        assert!(gpus >= 1 && rank < gpus);
+        assert!(
+            gpus_per_node >= 1,
+            "topology needs at least one GPU per node"
+        );
+        if gpus == 1 {
+            return (0.0, 0.0);
+        }
+        if gpus <= gpus_per_node {
+            return (
+                self.allreduce_rank_time(n_elems, elem_bytes, gpus, rank),
+                0.0,
+            );
+        }
+        let node = rank / gpus_per_node;
+        let leader = node * gpus_per_node;
+        let m = gpus_per_node.min(gpus - leader);
+        let n_nodes = gpus.div_ceil(gpus_per_node);
+        let tb = crate::comm::hierarchical_allreduce_send_bytes(
+            n_elems,
+            gpus,
+            gpus_per_node,
+            rank,
+            elem_bytes,
+        );
+        // Intra hops: m−1 reduce-scatter steps, plus one hand-off
+        // (non-leader) or one broadcast round (leader of a >1 node).
+        let mut intra_hops = (m - 1) as f64;
+        if m > 1 {
+            intra_hops += 1.0;
+        }
+        let intra = intra_hops * self.hw.intra_latency + tb.intra as f64 / self.hw.intra_node_bw;
+        let inter = if rank == leader {
+            2.0 * (n_nodes - 1) as f64 * self.hw.inter_latency
+                + tb.inter as f64 / self.hw.inter_node_bw
+        } else {
+            0.0
+        };
+        (intra, inter)
+    }
+
     /// Seconds for an ALLGATHER where each GPU contributes
     /// `bytes_per_gpu` and receives all others' contributions.
     pub fn allgather_time(&self, bytes_per_gpu: u64, gpus: usize) -> f64 {
@@ -178,6 +244,51 @@ mod tests {
             }
         }
         assert_eq!(m.allreduce_rank_time(1 << 20, 4, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_rank_time_tiers_and_fallback() {
+        let m = model();
+        // One-node groups collapse to the flat per-rank expression.
+        for r in 0..4 {
+            let (intra, inter) = m.hierarchical_allreduce_rank_time(1000, 4, 4, 8, r);
+            assert_eq!(intra, m.allreduce_rank_time(1000, 4, 4, r));
+            assert_eq!(inter, 0.0);
+        }
+        // Multi-node: only leaders pay inter time; members pay none.
+        let (gpus, gpn, n) = (24usize, 8usize, 10_000usize);
+        for r in 0..gpus {
+            let (intra, inter) = m.hierarchical_allreduce_rank_time(n, 4, gpus, gpn, r);
+            assert!(intra > 0.0);
+            if r % gpn == 0 {
+                assert!(inter > 0.0, "leader {r} must pay the Infiniband tier");
+            } else {
+                assert_eq!(inter, 0.0, "member {r} must not touch Infiniband");
+            }
+        }
+        assert_eq!(
+            m.hierarchical_allreduce_rank_time(1 << 20, 4, 1, 8, 0),
+            (0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_at_paper_scale() {
+        // Table V's regime: 192 GPUs on 24 nodes. The flat ring pays
+        // 2(G−1) inter-node latencies; the hierarchical schedule pays
+        // 2(N−1) plus cheap intra hops, and wins per step.
+        let m = model();
+        let (gpus, gpn, n) = (192usize, 8usize, 100_000usize);
+        let flat: f64 = (0..gpus)
+            .map(|r| m.allreduce_rank_time(n, 4, gpus, r))
+            .fold(0.0, f64::max);
+        let hier: f64 = (0..gpus)
+            .map(|r| {
+                let (a, b) = m.hierarchical_allreduce_rank_time(n, 4, gpus, gpn, r);
+                a + b
+            })
+            .fold(0.0, f64::max);
+        assert!(hier < flat, "hier {hier} must beat flat {flat}");
     }
 
     #[test]

@@ -29,27 +29,36 @@
 //!   exporter, so individual collectives, barrier waits and injected
 //!   straggler delays are visible per rank, not just in aggregates.
 //!
-//! Threads stand in for GPUs: one OS thread per rank, shared-memory
-//! mailboxes for links. Every collective really moves the payload through
-//! per-step mailboxes, so communication volume is measured, not assumed.
+//! * [`pool::RunGate`] / [`pool::run_ranks`] — a bounded worker pool so
+//!   hundreds of ranks multiplex over ~num_cpus OS-thread run slots,
+//!   parking slot-free at collectives (paper-scale worlds of 48–192
+//!   ranks in tests and benches).
+//!
+//! Threads stand in for GPUs: one (small-stack) thread per rank holds
+//! the rank's program state; collectives are rendezvous-style, moving
+//! every payload through shared sender-indexed slots, so communication
+//! volume is measured, not assumed — and split per interconnect
+//! [`traffic::Tier`] (PCIe within a node, Infiniband between nodes).
 
 pub mod comm;
 pub mod cost;
 pub mod device;
 pub mod fault;
 pub mod hw;
+pub mod pool;
 pub mod timing;
 pub mod trace;
 pub mod traffic;
 
 pub use comm::{
-    f16_bits_to_f32, f32_to_f16_bits, ring_allreduce_send_bytes, AbortOnDrop, CommError, CommGroup,
-    Rank,
+    f16_bits_to_f32, f32_to_f16_bits, hierarchical_allreduce_send_bytes, peer_exchange_tier_bytes,
+    ring_allreduce_send_bytes, ring_send_tier, AbortOnDrop, CommError, CommGroup, Rank,
 };
 pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};
 pub use fault::FaultPlan;
 pub use hw::HardwareConfig;
+pub use pool::{run_ranks, RunGate};
 pub use timing::PhaseTimer;
 pub use trace::{chrome_trace_json, secs_to_ps, SpanKind, TraceEvent, TraceLog, TraceRecorder};
-pub use traffic::{TrafficRecorder, TrafficSnapshot};
+pub use traffic::{Tier, TierBytes, TrafficRecorder, TrafficSnapshot};

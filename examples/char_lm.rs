@@ -6,7 +6,7 @@
 //! cargo run --release --example char_lm
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let cfg = TrainConfig {
@@ -23,6 +23,7 @@ fn main() {
         tokens: 120_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
 
     println!(

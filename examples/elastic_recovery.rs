@@ -11,8 +11,8 @@
 
 use simgpu::FaultPlan;
 use zipf_lm::{
-    chrome_trace_json, train_elastic, CheckpointConfig, Method, ModelKind, RecoveryPolicy,
-    TraceConfig, TrainConfig,
+    chrome_trace_json, train_elastic, CheckpointConfig, CommConfig, Method, ModelKind,
+    RecoveryPolicy, TraceConfig, TrainConfig,
 };
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         tokens: 100_000,
         trace: TraceConfig::on(),
         checkpoint: CheckpointConfig::every(10),
+        comm: CommConfig::flat(),
     };
 
     // Rank 3 dies once, mid-way through epoch 1.

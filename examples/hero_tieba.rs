@@ -15,7 +15,7 @@
 //! cargo run --release --example hero_tieba
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     println!("Tieba weak scaling (miniature): vocab 2000, data grows with GPUs\n");
@@ -48,6 +48,7 @@ fn main() {
             tokens: 30_000 * data_mult,
             trace: TraceConfig::off(),
             checkpoint: CheckpointConfig::off(),
+            comm: CommConfig::flat(),
         };
         let rep = train(&cfg).expect("training");
         let ppl = rep.final_ppl();

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 fn main() {
     let mut cfg = TrainConfig {
@@ -22,6 +22,7 @@ fn main() {
         tokens: 100_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
 
     println!(

@@ -9,7 +9,7 @@
 
 use zipf_lm::{
     chrome_trace_json, train, train_with_faults, train_with_memory_limit, CheckpointConfig,
-    FaultPlan, Method, ModelKind, TraceConfig, TrainConfig, TrainError,
+    CommConfig, FaultPlan, Method, ModelKind, TraceConfig, TrainConfig, TrainError,
 };
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
@@ -27,6 +27,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         tokens: 300_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 
@@ -92,7 +93,11 @@ fn main() {
         let a = &rep.attribution;
         println!(
             "  {r:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            a.compute_ps, a.wire_ps, a.barrier_wait_ps, a.skew_ps, a.self_delay_ps
+            a.compute_ps,
+            a.wire_ps(),
+            a.barrier_wait_ps,
+            a.skew_ps,
+            a.self_delay_ps
         );
     }
     let logs: Vec<_> = reports.iter().filter_map(|rep| rep.trace.clone()).collect();

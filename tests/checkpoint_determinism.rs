@@ -15,8 +15,8 @@ use simgpu::FaultPlan;
 use std::sync::Arc;
 use zipf_lm::checkpoint::{Checkpoint, CheckpointMetrics, Fingerprint};
 use zipf_lm::{
-    train_checkpointed, CheckpointConfig, CheckpointStore, EpochMetrics, Method, ModelKind,
-    TimeAttribution, TraceConfig, TrainConfig,
+    train_checkpointed, CheckpointConfig, CheckpointStore, CommConfig, EpochMetrics, Method,
+    ModelKind, TimeAttribution, TraceConfig, TrainConfig,
 };
 
 /// Unconstrained device capacity (mirrors the trainer's own default).
@@ -43,12 +43,16 @@ fn run_cfg(model: ModelKind, gpus: usize, method: Method, seed: u64) -> TrainCon
             every_steps: 2,
             keep_last: 4,
         },
+        comm: CommConfig::flat(),
     }
 }
 
+/// Deposited checkpoint bytes keyed by (rank, step).
+type DepositedBytes = Vec<(usize, u64, Vec<u8>)>;
+
 /// Runs training once and returns every deposited checkpoint's bytes,
 /// keyed by (rank, step), plus the terminal snapshot's bytes.
-fn checkpoint_bytes(cfg: &TrainConfig) -> (Vec<(usize, u64, Vec<u8>)>, Vec<u8>) {
+fn checkpoint_bytes(cfg: &TrainConfig) -> (DepositedBytes, Vec<u8>) {
     let store = Arc::new(CheckpointStore::new(cfg.gpus, cfg.checkpoint.keep_last));
     let results = train_checkpointed(cfg, UNLIMITED, &FaultPlan::none(), store.clone(), None);
     for (r, res) in results.iter().enumerate() {
@@ -122,7 +126,8 @@ fn synth_checkpoint(params: Vec<u32>, mix: u64, world: u32, rank: u32, step: u64
             unique_count: u64_at(35),
             attribution: TimeAttribution {
                 compute_ps: u64_at(1),
-                wire_ps: u64_at(2),
+                wire_intra_ps: u64_at(2),
+                wire_inter_ps: u64_at(3),
                 barrier_wait_ps: u64_at(4),
                 skew_ps: u64_at(6),
                 self_delay_ps: u64_at(8),

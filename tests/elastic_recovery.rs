@@ -18,8 +18,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 use zipf_lm::{
-    train_checkpointed, train_elastic, CheckpointConfig, CheckpointStore, Method, ModelKind,
-    RecoveryPolicy, TraceConfig, TrainConfig, TrainError,
+    train_checkpointed, train_elastic, CheckpointConfig, CheckpointStore, CommConfig, Method,
+    ModelKind, RecoveryPolicy, TraceConfig, TrainConfig, TrainError,
 };
 
 const WATCHDOG_SECS: u64 = 60;
@@ -59,6 +59,7 @@ fn cfg(gpus: usize) -> TrainConfig {
             every_steps: 2,
             keep_last: 8,
         },
+        comm: CommConfig::flat(),
     }
 }
 

@@ -14,8 +14,8 @@ use rand::{Rng, SeedableRng};
 use simgpu::{CommGroup, Rank};
 use tensor::Matrix;
 use zipf_lm::{
-    exchange_and_apply, train, CheckpointConfig, ExchangeConfig, Method, ModelKind, TraceConfig,
-    TrainConfig,
+    exchange_and_apply, train, CheckpointConfig, CommConfig, ExchangeConfig, Method, ModelKind,
+    TraceConfig, TrainConfig,
 };
 
 const DIM: usize = 5;
@@ -151,6 +151,7 @@ fn compressed_paths_track_exact_paths() {
         ExchangeConfig {
             unique: true,
             compression: Some(1024.0),
+            gpus_per_node: 0,
         },
     );
     let diff = exact.max_abs_diff(&compressed);
@@ -175,6 +176,7 @@ fn training_trajectories_coincide() {
         tokens: 30_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
     let base = train(&mk(Method::baseline())).expect("baseline");
     let uniq = train(&mk(Method::unique())).expect("unique");

@@ -12,8 +12,8 @@ use simgpu::FaultPlan;
 use std::sync::mpsc;
 use std::time::Duration;
 use zipf_lm::{
-    train, train_with_faults, train_with_memory_limit, CheckpointConfig, Method, ModelKind,
-    TraceConfig, TrainConfig, TrainError,
+    train, train_with_faults, train_with_memory_limit, CheckpointConfig, CommConfig, Method,
+    ModelKind, TraceConfig, TrainConfig, TrainError,
 };
 
 /// Generous bound: the whole suite's fault runs finish in well under a
@@ -49,6 +49,7 @@ fn cfg(gpus: usize) -> TrainConfig {
         tokens: 30_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 

@@ -6,7 +6,7 @@ use corpus::{CorpusGenerator, DatasetProfile, TokenUnit, Vocab};
 use simgpu::CommGroup;
 use tensor::f16::round_trip;
 use zipf::{fit_power_law, FrequencyTable};
-use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
 
 #[test]
 fn corpus_to_vocab_to_training_pipeline() {
@@ -30,6 +30,7 @@ fn corpus_to_vocab_to_training_pipeline() {
         tokens: 50_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
     let rep = train(&cfg).expect("pipeline");
     assert!(rep.final_ppl().is_finite());
@@ -118,6 +119,7 @@ fn traffic_attribution_consistent_with_report() {
         tokens: 40_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     };
     let rep = train(&cfg).expect("run");
     let measured = rep.traffic.total_bytes() as f64;
@@ -161,6 +163,7 @@ fn word_and_char_models_share_exchange_machinery() {
                 tokens: 30_000,
                 trace: TraceConfig::off(),
                 checkpoint: CheckpointConfig::off(),
+                comm: CommConfig::flat(),
             };
             let rep = train(&cfg).expect("runs");
             assert!(rep.epochs[0].train_loss.is_finite());

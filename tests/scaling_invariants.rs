@@ -5,7 +5,9 @@
 
 use perfmodel::{TechniqueStack, WordScale};
 use zipf::fit_power_law;
-use zipf_lm::{train, CheckpointConfig, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig};
+use zipf_lm::{
+    train, CheckpointConfig, CommConfig, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig,
+};
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
     TrainConfig {
@@ -22,6 +24,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         tokens: 120_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 

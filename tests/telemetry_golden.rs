@@ -123,7 +123,8 @@ fn steps_jsonl_is_byte_stable() {
         5.25,
         TimeAttribution {
             compute_ps: 700,
-            wire_ps: 200,
+            wire_intra_ps: 150,
+            wire_inter_ps: 50,
             barrier_wait_ps: 80,
             skew_ps: 0,
             self_delay_ps: 0,
@@ -138,7 +139,8 @@ fn steps_jsonl_is_byte_stable() {
         4.5,
         TimeAttribution {
             compute_ps: 700,
-            wire_ps: 190,
+            wire_intra_ps: 190,
+            wire_inter_ps: 0,
             barrier_wait_ps: 0,
             skew_ps: 6_000,
             self_delay_ps: 0,
@@ -154,7 +156,8 @@ fn steps_jsonl_is_byte_stable() {
         f64::NAN,
         TimeAttribution {
             compute_ps: 700,
-            wire_ps: 210,
+            wire_intra_ps: 0,
+            wire_inter_ps: 210,
             barrier_wait_ps: 0,
             skew_ps: 0,
             self_delay_ps: 9_000,
@@ -167,15 +170,18 @@ fn steps_jsonl_is_byte_stable() {
 
     let expected = concat!(
         "{\"step\":0,\"train_loss\":5.25,\"sim_time_ps\":980,\"compute_ps\":700,",
-        "\"wire_ps\":200,\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,",
+        "\"wire_ps\":200,\"wire_intra_ps\":150,\"wire_inter_ps\":50,",
+        "\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":960,\"output_wire_bytes\":480,",
         "\"unique_global\":37}\n",
         "{\"step\":1,\"train_loss\":4.5,\"sim_time_ps\":6890,\"compute_ps\":700,",
-        "\"wire_ps\":190,\"barrier_wait_ps\":0,\"skew_ps\":6000,\"self_delay_ps\":0,",
+        "\"wire_ps\":190,\"wire_intra_ps\":190,\"wire_inter_ps\":0,",
+        "\"barrier_wait_ps\":0,\"skew_ps\":6000,\"self_delay_ps\":0,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":950,\"output_wire_bytes\":0,",
         "\"unique_global\":35}\n",
         "{\"step\":2,\"train_loss\":null,\"sim_time_ps\":9910,\"compute_ps\":700,",
-        "\"wire_ps\":210,\"barrier_wait_ps\":0,\"skew_ps\":0,\"self_delay_ps\":9000,",
+        "\"wire_ps\":210,\"wire_intra_ps\":0,\"wire_inter_ps\":210,",
+        "\"barrier_wait_ps\":0,\"skew_ps\":0,\"self_delay_ps\":9000,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":955,\"output_wire_bytes\":500,",
         "\"unique_global\":36}\n",
     );

@@ -7,7 +7,8 @@
 use simgpu::{FaultPlan, SpanKind};
 use std::time::Duration;
 use zipf_lm::{
-    train_with_faults, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport,
+    train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig,
+    TrainReport,
 };
 
 /// `trainer::UNLIMITED` is private; same headroom trick.
@@ -28,6 +29,7 @@ fn traced_cfg(gpus: usize) -> TrainConfig {
         tokens: 20_000,
         trace: TraceConfig::on(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 

@@ -4,8 +4,8 @@
 
 use simgpu::FaultPlan;
 use zipf_lm::{
-    train, train_with_faults, CheckpointConfig, Method, ModelKind, SeedStrategy, TraceConfig,
-    TrainConfig,
+    train, train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, SeedStrategy,
+    TraceConfig, TrainConfig,
 };
 
 fn base_cfg() -> TrainConfig {
@@ -23,6 +23,7 @@ fn base_cfg() -> TrainConfig {
         tokens: 40_000,
         trace: TraceConfig::off(),
         checkpoint: CheckpointConfig::off(),
+        comm: CommConfig::flat(),
     }
 }
 

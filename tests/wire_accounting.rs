@@ -73,6 +73,7 @@ fn configs() -> [ExchangeConfig; 4] {
         ExchangeConfig {
             unique: false,
             compression: Some(512.0),
+            gpus_per_node: 0,
         },
         ExchangeConfig::unique(),
         ExchangeConfig::unique_compressed(),
@@ -132,6 +133,7 @@ fn compression_halves_exactly_the_row_terms() {
         ExchangeConfig {
             unique: false,
             compression: Some(512.0),
+            gpus_per_node: 0,
         },
     );
     let index_term = (16 * 4 * (world - 1)) as u64;
@@ -181,7 +183,9 @@ fn dense_allreduce_analytic_matches_recorded_exactly() {
 /// per-step scalar loss ALLREDUCE (8·(G−1) bytes per rank per step).
 #[test]
 fn mean_step_bytes_reconciles_with_traffic_recorder() {
-    use zipf_lm::{train, CheckpointConfig, Method, ModelKind, TraceConfig, TrainConfig};
+    use zipf_lm::{
+        train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig,
+    };
     for method in [Method::baseline(), Method::unique()] {
         let cfg = TrainConfig {
             model: ModelKind::Word { vocab: 150 },
@@ -197,6 +201,7 @@ fn mean_step_bytes_reconciles_with_traffic_recorder() {
             tokens: 30_000,
             trace: TraceConfig::off(),
             checkpoint: CheckpointConfig::off(),
+            comm: CommConfig::flat(),
         };
         let rep = train(&cfg).expect("train");
         let g = cfg.gpus as u64;
