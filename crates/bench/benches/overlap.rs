@@ -1,0 +1,45 @@
+//! Bench target for the overlapped step schedule at paper-scale
+//! wire-dominated worlds (48/192 ranks, 8 run slots): runs the
+//! comparison — which internally re-verifies that neither bucketing nor
+//! overlap changes numerics and that the seven-bucket attribution stays
+//! exact — and persists the rows as `BENCH_overlap.json` at the
+//! workspace root. Every field in the artifact is simulated time, so
+//! the file is deterministic: CI asserts a fresh run leaves the
+//! committed golden byte-identical, which pins the overlap-off serial
+//! schedule to the pre-refactor step times forever.
+//!
+//! `harness = false`: this is a measured experiment with a side effect,
+//! not a statistical microbenchmark.
+
+use std::time::Instant;
+use zlm_bench::{overlap_comparison, overlap_json};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let t0 = Instant::now();
+    let rows = overlap_comparison(!full);
+    let wall = t0.elapsed();
+
+    println!("overlap: serial vs overlapped step schedule (pool = 8 run slots)");
+    println!(
+        "{:>5} {:>8} {:>14} {:>14} {:>14} {:>12} {:>10}",
+        "gpus", "bucket", "flat_ms", "serial_ms", "overlap_ms", "hidden_us", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>8} {:>14.3} {:>14.3} {:>14.3} {:>12.1} {:>9.4}x",
+            r.gpus,
+            r.bucket_bytes,
+            r.flat_sim_time_ps as f64 / 1e9,
+            r.serial_sim_time_ps as f64 / 1e9,
+            r.overlapped_sim_time_ps as f64 / 1e9,
+            r.hidden_ps as f64 / 1e6,
+            r.serial_sim_time_ps as f64 / r.overlapped_sim_time_ps as f64,
+        );
+    }
+    println!("(numerics verified bit-identical across all schedules; wall {wall:.2?})");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overlap.json");
+    std::fs::write(path, overlap_json(&rows)).expect("write BENCH_overlap.json");
+    println!("wrote {path}");
+}

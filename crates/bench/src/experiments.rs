@@ -370,6 +370,149 @@ pub fn weak_scaling_json(rows: &[WeakScalingRow]) -> String {
     out
 }
 
+/// One world of the overlapped-schedule comparison: the same training
+/// run priced under three step schedules (all numerically
+/// bit-identical — the schedule only moves modelled time).
+#[derive(Debug, Clone)]
+pub struct OverlapRow {
+    /// Simulated GPUs.
+    pub gpus: usize,
+    /// Gradient-bucket size used by the bucketed schedules.
+    pub bucket_bytes: u64,
+    /// Summed `sim_time_ps` under the default serial schedule
+    /// (`CommConfig::hierarchical_pooled`, no buckets, no overlap).
+    /// This is the pre-refactor step model — CI pins it byte-identical
+    /// against the committed `BENCH_overlap.json` golden.
+    pub flat_sim_time_ps: u64,
+    /// Summed `sim_time_ps` with gradient buckets but overlap off:
+    /// the serial reference the overlapped schedule is measured
+    /// against (same collectives, same latency terms).
+    pub serial_sim_time_ps: u64,
+    /// Summed `sim_time_ps` with buckets *and* overlap on — bucket
+    /// `i`'s collective runs while bucket `i+1`'s compute streams.
+    pub overlapped_sim_time_ps: u64,
+    /// Rank 0's summed `overlapped_ps` bucket: comm hidden under
+    /// compute by the schedule.
+    pub hidden_ps: u64,
+    /// Final epoch training loss (identical across all three runs).
+    pub train_loss: f64,
+}
+
+/// Bucket size for the overlap comparison. Large enough that the extra
+/// per-bucket latency terms stay small next to the payload's wire
+/// time, small enough that the dense gradient still splits into
+/// several buckets at these model shapes.
+pub const OVERLAP_BUCKET_BYTES: u64 = 65_536;
+
+/// Worlds for the overlap comparison: 6 nodes and the paper's
+/// wire-dominated 24-node world.
+pub const OVERLAP_WORLDS: [usize; 2] = [48, 192];
+
+/// Serial-vs-overlapped schedule comparison at paper-scale
+/// wire-dominated worlds. Each world trains three times under the
+/// bounded pool — default serial, bucketed serial, bucketed
+/// overlapped — asserts the schedules never change numerics and that
+/// the attribution identity stays exact, and reports the summed
+/// simulated times. The experiment is its own correctness guard:
+/// overlap must strictly reduce `sim_time_ps` against the bucketed
+/// serial reference.
+pub fn overlap_comparison(quick: bool) -> Vec<OverlapRow> {
+    OVERLAP_WORLDS
+        .iter()
+        .map(|&g| {
+            // batch × seq_len sets the compute window the schedule can
+            // hide comm under; these worlds are latency-dominated, so
+            // the reduction is bounded by the compute share of a step.
+            let cfg = TrainConfig {
+                model: ModelKind::Char { vocab: 48 },
+                gpus: g,
+                batch: 4,
+                seq_len: 32,
+                steps_per_epoch: if quick { 3 } else { 8 },
+                epochs: 1,
+                base_lr: 0.2,
+                lr_decay: 0.9,
+                method: Method::unique(),
+                seed: 1234,
+                tokens: 60_000 * g / OVERLAP_WORLDS[0],
+                trace: TraceConfig::off(),
+                checkpoint: CheckpointConfig::off(),
+                comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL),
+            };
+            let flat = zipf_lm::train(&cfg).expect("serial unbucketed run");
+            let serial = zipf_lm::train(&TrainConfig {
+                comm: CommConfig {
+                    bucket_bytes: OVERLAP_BUCKET_BYTES,
+                    ..CommConfig::hierarchical_pooled(WEAK_SCALING_POOL)
+                },
+                ..cfg.clone()
+            })
+            .expect("serial bucketed run");
+            let over = zipf_lm::train(&TrainConfig {
+                comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL)
+                    .overlapped(OVERLAP_BUCKET_BYTES),
+                ..cfg.clone()
+            })
+            .expect("overlapped run");
+
+            // The schedule moves modelled time only — never bits.
+            assert_eq!(flat.steps.len(), serial.steps.len());
+            assert_eq!(flat.steps.len(), over.steps.len());
+            let mut hidden = 0u64;
+            for ((f, s), o) in flat.steps.iter().zip(&serial.steps).zip(&over.steps) {
+                assert_eq!(f.train_loss.to_bits(), s.train_loss.to_bits());
+                assert_eq!(f.train_loss.to_bits(), o.train_loss.to_bits());
+                assert_eq!(s.attribution.total_ps(), s.sim_time_ps);
+                assert_eq!(o.attribution.total_ps(), o.sim_time_ps);
+                assert_eq!(s.attribution.overlapped_ps, 0, "overlap off hid comm");
+                assert!(o.sim_time_ps <= s.sim_time_ps, "critical path > serial");
+                hidden += o.attribution.overlapped_ps;
+            }
+            let total = |r: &TrainReport| r.steps.iter().map(|s| s.sim_time_ps).sum::<u64>();
+            let (serial_ps, over_ps) = (total(&serial), total(&over));
+            assert!(
+                over_ps < serial_ps,
+                "world {g}: overlap did not reduce sim time ({over_ps} vs {serial_ps})"
+            );
+            OverlapRow {
+                gpus: g,
+                bucket_bytes: OVERLAP_BUCKET_BYTES,
+                flat_sim_time_ps: total(&flat),
+                serial_sim_time_ps: serial_ps,
+                overlapped_sim_time_ps: over_ps,
+                hidden_ps: hidden,
+                train_loss: over.epochs.last().unwrap().train_loss,
+            }
+        })
+        .collect()
+}
+
+/// Renders overlap rows as the `BENCH_overlap.json` artifact. Every
+/// field is simulated (machine-independent), so the file is
+/// deterministic and CI pins it byte-identical against the committed
+/// golden — the overlap-off columns are the pre-refactor step times.
+pub fn overlap_json(rows: &[OverlapRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"overlap\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"gpus\": {}, \"bucket_bytes\": {}, \
+             \"flat_sim_time_ps\": {}, \"serial_sim_time_ps\": {}, \
+             \"overlapped_sim_time_ps\": {}, \"hidden_ps\": {}, \
+             \"train_loss\": {}}}{}\n",
+            r.gpus,
+            r.bucket_bytes,
+            r.flat_sim_time_ps,
+            r.serial_sim_time_ps,
+            r.overlapped_sim_time_ps,
+            r.hidden_ps,
+            r.train_loss,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// §V-D comparison against [21] (Puri et al., Amazon Reviews char LM on
 /// 128 V100s): our char-LM BPC on the ar profile plus the
 /// infrastructure-normalised throughput argument.
@@ -498,6 +641,29 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert_eq!(json.matches("\"gpus\"").count(), 3);
         assert!(json.contains("\"wire_inter_bytes\""));
+    }
+
+    #[test]
+    fn overlap_comparison_reduces_wire_dominated_worlds() {
+        let rows = overlap_comparison(true);
+        assert_eq!(
+            rows.iter().map(|r| r.gpus).collect::<Vec<_>>(),
+            OVERLAP_WORLDS.to_vec()
+        );
+        for r in &rows {
+            // The run asserts overlapped < serial internally; re-check
+            // the reported fields and the hidden-comm evidence here.
+            assert!(r.overlapped_sim_time_ps < r.serial_sim_time_ps, "{r:?}");
+            assert!(r.hidden_ps > 0, "{r:?}");
+            assert!(r.train_loss.is_finite(), "{r:?}");
+            // Bucketing only ever adds latency terms to the serial
+            // schedule, never removes work.
+            assert!(r.serial_sim_time_ps >= r.flat_sim_time_ps, "{r:?}");
+        }
+        let json = overlap_json(&rows);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"gpus\"").count(), rows.len());
+        assert!(json.contains("\"overlapped_sim_time_ps\""));
     }
 
     #[test]

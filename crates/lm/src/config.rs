@@ -282,6 +282,23 @@ pub struct CommConfig {
     /// Run-slot cap for rank execution; `0` = unpooled (every rank
     /// thread runnable at once — the legacy behaviour).
     pub pool_workers: usize,
+    /// Overlap communication with compute in the step schedule: comm
+    /// ops launch as soon as their payload is produced by the backward
+    /// pass instead of after all compute finishes, and the step's
+    /// simulated time becomes the critical path through the op DAG.
+    /// Comm time hidden under compute lands in the
+    /// `TimeAttribution::overlapped_ps` bucket. Results (params,
+    /// losses) never change — only the modelled timeline does. Off by
+    /// default: the serial schedule reproduces the pre-schedule step
+    /// times bit-exactly.
+    pub overlap: bool,
+    /// Gradient-bucket size in bytes for the step schedule: dense
+    /// gradients and the embedding exchanges' `Ug×D` payloads are split
+    /// into buckets of at most this many wire bytes, each a separate
+    /// collective op (paying its own latency term — finer buckets hide
+    /// more comm under compute but cost more α). `0` = one bucket per
+    /// payload (the legacy collectives, byte-for-byte).
+    pub bucket_bytes: u64,
 }
 
 impl CommConfig {
@@ -291,6 +308,8 @@ impl CommConfig {
             gpus_per_node: 0,
             hierarchical: false,
             pool_workers: 0,
+            overlap: false,
+            bucket_bytes: 0,
         }
     }
 
@@ -298,10 +317,20 @@ impl CommConfig {
     /// size, with rank execution bounded to `pool_workers` run slots.
     pub fn hierarchical_pooled(pool_workers: usize) -> Self {
         Self {
-            gpus_per_node: 0,
             hierarchical: true,
             pool_workers,
+            ..Self::flat()
         }
+    }
+
+    /// Enables the overlapped step schedule with gradient buckets of at
+    /// most `bucket_bytes` wire bytes (`0` = unbucketed payloads, which
+    /// still overlap: a payload launches once its last byte is
+    /// produced).
+    pub fn overlapped(mut self, bucket_bytes: u64) -> Self {
+        self.overlap = true;
+        self.bucket_bytes = bucket_bytes;
+        self
     }
 }
 
@@ -424,6 +453,13 @@ mod tests {
         assert!(hp.hierarchical);
         assert_eq!(hp.pool_workers, 4);
         assert_eq!(hp.gpus_per_node, 0, "node size defers to the hw preset");
+        assert!(!d.overlap, "overlap is opt-in");
+        assert_eq!(d.bucket_bytes, 0);
+        let ov = CommConfig::flat().overlapped(1 << 20);
+        assert!(ov.overlap);
+        assert_eq!(ov.bucket_bytes, 1 << 20);
+        let hov = CommConfig::hierarchical_pooled(8).overlapped(0);
+        assert!(hov.overlap && hov.hierarchical);
     }
 
     #[test]

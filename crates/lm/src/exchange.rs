@@ -66,11 +66,21 @@ pub struct ExchangeConfig {
     pub compression: Option<f32>,
     /// GPUs per node; `> 0` routes the unique path's `Ug×D` ALLREDUCE
     /// through the two-tier hierarchical schedule when the group spans
-    /// multiple nodes (uncompressed only — the f16 wire format stays on
-    /// the flat ring). `0` keeps everything on the flat single-tier
-    /// ring. Results are bit-identical either way; only the wire
-    /// schedule and per-tier byte accounting differ.
+    /// multiple nodes — compressed payloads included (the two tiers
+    /// carry the f16 wire format, bit-identical to the flat f16 ring).
+    /// `0` keeps everything on the flat single-tier ring. Results are
+    /// bit-identical either way; only the wire schedule and per-tier
+    /// byte accounting differ.
     pub gpus_per_node: usize,
+    /// Gradient-bucket size in wire bytes for the unique path's `Ug×D`
+    /// ALLREDUCE: `> 0` slices the payload into consecutive element
+    /// ranges of at most this many wire bytes, each reduced by its own
+    /// collective call — the bucketed schedule the trainer overlaps
+    /// with compute. `0` keeps the legacy whole-payload collective.
+    /// Reduction is elementwise with a canonical leader order, so
+    /// bucketing moves no bits; the analytic `wire_bytes` switch to the
+    /// sum of per-bucket ring shares in lock-step with the recorder.
+    pub bucket_bytes: u64,
 }
 
 impl ExchangeConfig {
@@ -80,6 +90,7 @@ impl ExchangeConfig {
             unique: false,
             compression: None,
             gpus_per_node: 0,
+            bucket_bytes: 0,
         }
     }
 
@@ -96,14 +107,20 @@ impl ExchangeConfig {
         Self {
             unique: true,
             compression: Some(512.0),
-            gpus_per_node: 0,
+            ..Self::baseline()
         }
     }
 
     /// True when this config sends the `Ug×D` ALLREDUCE through the
-    /// two-tier schedule for a group of `world` ranks.
+    /// two-tier schedule for a group of `world` ranks. Compression does
+    /// *not* disable the two-tier schedule: the hierarchical phases
+    /// carry f16 payloads (see
+    /// [`Rank::all_reduce_sum_f16_hierarchical`]) — a prior revision
+    /// silently fell back to the flat ring here, so a user combining
+    /// `hierarchical` with the paper's compression method lost the
+    /// topology they asked for without any warning.
     pub fn hierarchical_for(&self, world: usize) -> bool {
-        self.gpus_per_node > 0 && world > self.gpus_per_node && self.compression.is_none()
+        self.gpus_per_node > 0 && world > self.gpus_per_node
     }
 }
 
@@ -430,7 +447,7 @@ pub fn unique_exchange_traced(
     let cfg = ExchangeConfig {
         unique: true,
         compression,
-        gpus_per_node: 0,
+        ..ExchangeConfig::baseline()
     };
     unique_exchange_cfg_traced(rank, grad, table, lr, &cfg, scratch, trace)
 }
@@ -504,30 +521,47 @@ pub fn unique_exchange_cfg_traced(
     timings.scatter_ns = timer.lap_ns();
     trace_rec(&mut trace, SpanKind::Scatter, t0, 0);
 
-    // Step 6: ALLREDUCE the aligned matrices. Ring bytes are this
-    // rank's exact share from the chunk schedule (matches the traffic
-    // recorder even when Ug·D does not divide by G); on the two-tier
-    // path they are the hierarchical schedule's exact total instead.
+    // Step 6: ALLREDUCE the aligned matrices, one collective call per
+    // gradient bucket (`cfg.bucket_bytes`; a single whole-payload call
+    // when 0). Reduction is elementwise under a canonical leader order,
+    // so the slicing moves no bits. Ring bytes are the sum of this
+    // rank's exact per-bucket shares from the chunk schedule (matches
+    // the traffic recorder even when a bucket does not divide by G); on
+    // the two-tier path each bucket contributes the hierarchical
+    // schedule's exact total instead.
     let hierarchical = cfg.hierarchical_for(g);
-    let ring_bytes = if hierarchical {
-        simgpu::hierarchical_allreduce_send_bytes(
-            u_global * d,
-            g,
-            cfg.gpus_per_node,
-            rank.rank(),
-            elem_bytes,
-        )
-        .total()
-    } else {
-        simgpu::ring_allreduce_send_bytes(u_global * d, g, rank.rank(), elem_bytes)
-    };
+    let n_m = u_global * d;
+    let per = crate::schedule::bucket_elems(n_m, elem_bytes, cfg.bucket_bytes);
     let t0 = trace_now(&trace);
-    match compression {
-        Some(scale) => rank.all_reduce_sum_f16(&mut scratch.m, scale)?,
-        None if hierarchical => {
-            rank.all_reduce_sum_hierarchical(&mut scratch.m, cfg.gpus_per_node)?
+    let mut ring_bytes = 0u64;
+    let mut start = 0usize;
+    loop {
+        let end = (start + per).min(n_m);
+        ring_bytes += if hierarchical {
+            simgpu::hierarchical_allreduce_send_bytes(
+                end - start,
+                g,
+                cfg.gpus_per_node,
+                rank.rank(),
+                elem_bytes,
+            )
+            .total()
+        } else {
+            simgpu::ring_allreduce_send_bytes(end - start, g, rank.rank(), elem_bytes)
+        };
+        let slice = &mut scratch.m[start..end];
+        match compression {
+            Some(scale) if hierarchical => {
+                rank.all_reduce_sum_f16_hierarchical(slice, scale, cfg.gpus_per_node)?
+            }
+            Some(scale) => rank.all_reduce_sum_f16(slice, scale)?,
+            None if hierarchical => rank.all_reduce_sum_hierarchical(slice, cfg.gpus_per_node)?,
+            None => rank.all_reduce_sum(slice)?,
         }
-        None => rank.all_reduce_sum(&mut scratch.m)?,
+        start = end;
+        if start >= n_m {
+            break;
+        }
     }
     timings.allreduce_ns = timer.lap_ns();
     trace_rec(&mut trace, SpanKind::AllReduce, t0, ring_bytes);
@@ -911,6 +945,97 @@ mod tests {
                 snap.allreduce_intra_bytes + snap.allreduce_inter_bytes,
                 expected_allreduce,
                 "world {world} gpn {gpn}"
+            );
+            assert!(snap.allreduce_inter_bytes > 0, "leaders must cross nodes");
+        }
+    }
+
+    #[test]
+    fn bucketed_unique_exchange_matches_whole_payload_bit_exactly() {
+        // Slicing the Ug×D ALLREDUCE into gradient buckets is pure
+        // schedule: elementwise canonical reduction per slice ⇒ tables
+        // identical to the whole-payload collective, and the analytic
+        // wire bytes become the exact sum of per-bucket ring shares.
+        let world = 4;
+        for base_cfg in [
+            ExchangeConfig::unique(),
+            ExchangeConfig::unique_compressed(),
+        ] {
+            let whole = exchange_result(world, base_cfg);
+            let bucket_bytes = 64u64; // several buckets at Ug·D ≈ tens of elems
+            let bucketed = exchange_result(
+                world,
+                ExchangeConfig {
+                    bucket_bytes,
+                    ..base_cfg
+                },
+            );
+            let elem: u64 = if base_cfg.compression.is_some() { 2 } else { 4 };
+            for (r, ((wt, ws), (bt, bs))) in whole.iter().zip(&bucketed).enumerate() {
+                assert_eq!(wt.as_slice(), bt.as_slice(), "rank {r} diverged");
+                assert_eq!(ws.unique_global, bs.unique_global);
+                let n = ws.unique_global * D;
+                let gather = 12u64 * 4 * (world as u64 - 1);
+                let shares: u64 = crate::schedule::bucket_ranges(n, elem, bucket_bytes)
+                    .iter()
+                    .map(|range| simgpu::ring_allreduce_send_bytes(range.len(), world, r, elem))
+                    .sum();
+                assert_eq!(bs.wire_bytes, gather + shares);
+                assert!(
+                    crate::schedule::bucket_ranges(n, elem, bucket_bytes).len() > 1,
+                    "test must actually exercise multiple buckets"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_f16_exchange_matches_flat_f16_bit_exactly() {
+        // Satellite of the silent-fallback fix: with FP16 compression on,
+        // `hierarchical_for` used to return false and the exchange quietly
+        // ran the flat ring. Now the two-tier path carries the f16 wire
+        // format itself — same canonical leader reduction ⇒ bit-identical
+        // tables — and the analytic per-rank bytes follow the hierarchical
+        // schedule at elem_bytes = 2, recorder-exact per tier.
+        for (world, gpn) in [(6usize, 2usize), (8, 3)] {
+            let flat = exchange_result(world, ExchangeConfig::unique_compressed());
+            let hier_cfg = ExchangeConfig {
+                gpus_per_node: gpn,
+                ..ExchangeConfig::unique_compressed()
+            };
+            let ranks = CommGroup::create_with_topology(world, gpn);
+            let hier: Vec<(Matrix, ExchangeStats, simgpu::TrafficSnapshot)> =
+                simgpu::run_ranks(ranks, |rank| {
+                    let mut table = make_table(7);
+                    let grad = make_grad(100 + rank.rank() as u64, 12);
+                    let stats =
+                        exchange_and_apply(&rank, &grad, &mut table, 0.1, &hier_cfg).unwrap();
+                    (table.weights().clone(), stats, rank.traffic())
+                });
+            let mut expected = simgpu::TierBytes::default();
+            for (r, ((ft, fs), (ht, hs, _))) in flat.iter().zip(&hier).enumerate() {
+                assert_eq!(
+                    ft.as_slice(),
+                    ht.as_slice(),
+                    "world {world} gpn {gpn} rank {r} diverged from flat f16"
+                );
+                assert_eq!(fs.unique_global, hs.unique_global);
+                let n = fs.unique_global * D;
+                let gather = 12u64 * 4 * (world as u64 - 1);
+                let tb = simgpu::hierarchical_allreduce_send_bytes(n, world, gpn, r, 2);
+                assert_eq!(hs.wire_bytes, gather + tb.total());
+                expected += tb;
+            }
+            // Per-tier (not just total): analytic == recorded on both
+            // the intra-node and the cross-node leg.
+            let snap = &hier[0].2;
+            assert_eq!(
+                snap.allreduce_intra_bytes, expected.intra,
+                "world {world} gpn {gpn} intra"
+            );
+            assert_eq!(
+                snap.allreduce_inter_bytes, expected.inter,
+                "world {world} gpn {gpn} inter"
             );
             assert!(snap.allreduce_inter_bytes > 0, "leaders must cross nodes");
         }

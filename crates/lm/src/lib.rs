@@ -66,8 +66,13 @@
 //! [`TrainReport::steps_jsonl`]. Independent of tracing, each step's
 //! simulated time carries an exact integer-picosecond
 //! [`TimeAttribution`] split (compute / intra-node wire / inter-node
-//! wire / barrier-wait / skew / self-delay) that sums to `sim_time_ps`
-//! on every rank.
+//! wire / overlapped / barrier-wait / skew / self-delay) that sums to
+//! `sim_time_ps` on every rank. The step itself is an explicit op
+//! [`schedule`] with critical-path timing: with `CommConfig::overlapped`
+//! gradient buckets launch their collectives while later buckets'
+//! compute still runs, the hidden comm lands in `overlapped_ps`, and
+//! [`TrainReport::schedule_trace_json`] exports the two streams as
+//! concurrent spans per rank.
 
 pub mod checkpoint;
 pub mod config;
@@ -75,6 +80,7 @@ pub mod elastic;
 pub mod eval;
 pub mod exchange;
 pub mod metrics;
+pub mod schedule;
 pub mod seeding;
 pub mod trainer;
 
@@ -86,9 +92,11 @@ pub use exchange::{
     ExchangeScratch, ExchangeStats, PhaseTimings,
 };
 pub use metrics::{EpochMetrics, RecoveryEvent, StepMetrics, TimeAttribution, TrainReport};
+pub use schedule::{CommOp, ScheduleOutcome};
 pub use seeding::SeedStrategy;
 pub use simgpu::{
-    chrome_trace_json, CommError, FaultPlan, SpanKind, TraceEvent, TraceLog, TraceRecorder,
+    chrome_trace_json, sim_trace_json, CommError, FaultPlan, SimSpan, SimStream, SpanKind,
+    TraceEvent, TraceLog, TraceRecorder,
 };
 pub use trainer::{
     train, train_checkpointed, train_with_faults, train_with_memory_limit, TrainError,

@@ -12,10 +12,11 @@ use simgpu::{TraceLog, TrafficSnapshot};
 /// are global knowledge, so no extra communication is needed). Each
 /// rank then splits its own share of `T` into these buckets.
 ///
-/// **Invariant** (asserted in `tests/trace_attribution.rs`): the six
-/// buckets sum to the step's `sim_time_ps` *exactly*, on every rank —
-/// all arithmetic is integer picoseconds, each α–β term quantised
-/// individually via [`simgpu::secs_to_ps`], so there is no epsilon.
+/// **Invariant** (asserted in `tests/trace_attribution.rs` and
+/// `tests/schedule_overlap.rs`): the seven buckets sum to the step's
+/// `sim_time_ps` *exactly*, on every rank — all arithmetic is integer
+/// picoseconds, each α–β term quantised individually via
+/// [`simgpu::secs_to_ps`], so there is no epsilon.
 ///
 /// Wire time is split by interconnect tier, mirroring
 /// [`simgpu::Tier`]: `wire_intra_ps` for node-local PCIe hops and
@@ -43,6 +44,13 @@ pub struct TimeAttribution {
     pub skew_ps: u64,
     /// This rank's own injected straggler delay.
     pub self_delay_ps: u64,
+    /// Communication hidden under compute by the overlapped step
+    /// schedule (`CommConfig::overlap`): wall-clock where this rank's
+    /// compute and comm streams were *both* busy. Carved out of
+    /// `compute_ps` — the wire buckets carry only the *exposed* comm
+    /// time — so the seven buckets still sum to `sim_time_ps` exactly.
+    /// Always zero when overlap is off.
+    pub overlapped_ps: u64,
 }
 
 impl TimeAttribution {
@@ -60,6 +68,7 @@ impl TimeAttribution {
             + self.barrier_wait_ps
             + self.skew_ps
             + self.self_delay_ps
+            + self.overlapped_ps
     }
 
     /// Elementwise accumulation (for per-run totals).
@@ -70,6 +79,7 @@ impl TimeAttribution {
         self.barrier_wait_ps += other.barrier_wait_ps;
         self.skew_ps += other.skew_ps;
         self.self_delay_ps += other.self_delay_ps;
+        self.overlapped_ps += other.overlapped_ps;
     }
 }
 
@@ -177,6 +187,13 @@ pub struct TrainReport {
     /// This rank's span trace, when tracing was enabled in
     /// `TrainConfig::trace`. Export with [`simgpu::chrome_trace_json`].
     pub trace: Option<TraceLog>,
+    /// This rank's *simulated-timeline* step-schedule spans (compute,
+    /// each comm op, apply, barrier wait), when tracing was enabled.
+    /// Comm spans that overlap the compute span show the hidden
+    /// communication as concurrent tracks; export with
+    /// [`simgpu::sim_trace_json`] or
+    /// [`TrainReport::schedule_trace_json`].
+    pub sim_spans: Vec<simgpu::SimSpan>,
     /// Elastic-recovery rounds survived en route to this report (empty
     /// for non-elastic runs; filled by [`crate::train_elastic`]).
     pub recoveries: Vec<RecoveryEvent>,
@@ -219,7 +236,8 @@ impl TrainReport {
                 "{{\"step\":{},\"train_loss\":{},\"sim_time_ps\":{},\
                  \"compute_ps\":{},\"wire_ps\":{},\"wire_intra_ps\":{},\
                  \"wire_inter_ps\":{},\"barrier_wait_ps\":{},\
-                 \"skew_ps\":{},\"self_delay_ps\":{},\"dense_bytes\":{},\
+                 \"skew_ps\":{},\"self_delay_ps\":{},\"overlapped_ps\":{},\
+                 \"dense_bytes\":{},\
                  \"input_wire_bytes\":{},\"output_wire_bytes\":{},\"unique_global\":{}}}\n",
                 s.step,
                 json_f64(s.train_loss),
@@ -231,6 +249,7 @@ impl TrainReport {
                 a.barrier_wait_ps,
                 a.skew_ps,
                 a.self_delay_ps,
+                a.overlapped_ps,
                 s.dense_bytes,
                 s.input_exchange.wire_bytes,
                 s.output_exchange.map(|e| e.wire_bytes).unwrap_or(0),
@@ -238,6 +257,15 @@ impl TrainReport {
             ));
         }
         out
+    }
+
+    /// Chrome-trace JSON of this rank's simulated step schedule
+    /// ([`TrainReport::sim_spans`]): two tracks per rank (compute stream
+    /// and comm stream) positioned in simulated picoseconds, so
+    /// overlapped collectives render as spans running concurrently with
+    /// compute. Empty-array JSON when tracing was off.
+    pub fn schedule_trace_json(&self) -> String {
+        simgpu::sim_trace_json(&self.sim_spans)
     }
 
     /// Mean wire bytes per step across the run.
@@ -281,16 +309,18 @@ mod tests {
             barrier_wait_ps: 3,
             skew_ps: 2,
             self_delay_ps: 1,
+            overlapped_ps: 4,
         };
         assert_eq!(a.wire_ps(), 4);
-        assert_eq!(a.total_ps(), 15);
+        assert_eq!(a.total_ps(), 19);
         let mut sum = TimeAttribution::default();
         sum.accumulate(&a);
         sum.accumulate(&a);
-        assert_eq!(sum.total_ps(), 30);
+        assert_eq!(sum.total_ps(), 38);
         assert_eq!(sum.compute_ps, 10);
         assert_eq!(sum.wire_intra_ps, 6);
         assert_eq!(sum.wire_inter_ps, 2);
+        assert_eq!(sum.overlapped_ps, 8);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
 use crate::exchange::{exchange_and_apply_traced, ExchangeConfig, ExchangeScratch, ExchangeStats};
 use crate::metrics::{EpochMetrics, StepMetrics, TimeAttribution, TrainReport};
+use crate::schedule::{self, CommOp};
 use corpus::{shard_batches, train_valid_split, BatchSpec, CorpusGenerator, TokenUnit, Vocab};
 use nn::model::SeqBatch;
 use nn::optimizer::scaled_lr;
@@ -52,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simgpu::{
     secs_to_ps, CommError, CommGroup, CostModel, Device, FaultPlan, HardwareConfig, OomError, Rank,
-    SpanKind, TraceRecorder,
+    SimSpan, SimStream, SpanKind, TraceRecorder,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -538,79 +539,286 @@ struct RankOutput {
     report: TrainReport,
 }
 
-/// Assigns a flat collective's wire picoseconds to the tier the group
-/// occupies: intra-node while it fits in one node, inter-node once it
-/// spans several — the same switch [`HardwareConfig`]'s
-/// `ring_bandwidth`/`ring_latency` make when pricing the collective, so
-/// the attribution tier always matches the α–β constants that produced
-/// the time. Returns `(intra_ps, inter_ps)`.
-fn flat_tier_split(wire_ps: u64, gpus: usize, hw_gpus_per_node: usize) -> (u64, u64) {
-    if gpus <= hw_gpus_per_node {
-        (wire_ps, 0)
-    } else {
-        (0, wire_ps)
+/// Assigns a flat ring collective's wire picoseconds to the tier of the
+/// link rank `q` actually sends over: every chunk a rank forwards in a
+/// flat ring leaves through its single egress link `q → (q+1) mod G`,
+/// whose tier is decided by the resolved node layout
+/// ([`simgpu::ring_send_tier`]) — exactly how the traffic recorder
+/// buckets the same sends. The old all-or-nothing switch put the whole
+/// group's wire time on one tier and disagreed with the recorder on
+/// every multi-node flat world (divisible or ragged): ranks whose
+/// egress link stays inside a node were charged inter-node time. The
+/// pricing itself is untouched — `intra + inter == wire_ps`, always.
+fn flat_ring_tier_split(wire_ps: u64, gpus: usize, gpus_per_node: usize, q: usize) -> (u64, u64) {
+    match simgpu::ring_send_tier(gpus, gpus_per_node, q) {
+        simgpu::Tier::Intra => (wire_ps, 0),
+        simgpu::Tier::Inter => (0, wire_ps),
     }
 }
 
-/// Simulated cost of one exchange for rank `q`, in integer picoseconds,
-/// split into `(wire_intra_ps, wire_inter_ps, touch_ps)` — the
-/// collective part per interconnect tier and the local memory-touch
-/// part. Every α–β term is quantised to ps individually
-/// ([`secs_to_ps`]), so sums of terms stay exact.
+/// The step's op schedule, priced for any rank — the rank-invariant
+/// inputs of the local, communication-free step-time model.
 ///
-/// Any rank can evaluate this for any `q`: the inputs are rank-invariant
-/// (`local_tokens` is `batch·seq_len` for the input exchange and
-/// `batch·seq_len + samples` for the output one on every rank;
-/// `unique_global` is synchronised by construction), and rank `q`'s ring
-/// ALLREDUCE share comes from the chunk schedule, which is global
-/// knowledge — the basis of the local, communication-free step-time
-/// model in [`run_rank`]. When the config routes the unique path's
-/// ALLREDUCE hierarchically, its cost comes from
-/// [`CostModel::hierarchical_allreduce_rank_time`], whose two tiers are
-/// quantised separately so the split reconciles exactly.
-fn exchange_cost_ps(
-    cost: &CostModel,
-    stats: &ExchangeStats,
-    cfg: &ExchangeConfig,
+/// Every rank constructs the *same* `StepSchedule` (payload sizes are
+/// rank-invariant: `local_tokens` is `batch·seq_len` (+ samples) on
+/// every rank and `unique_global` is synchronised by construction),
+/// then prices and evaluates every rank `q`'s op list locally via
+/// [`Self::ops_for`] + [`schedule::evaluate`] — so all ranks derive the
+/// same synchronous step time `T = max_q critical_path(q)` without any
+/// extra communication.
+///
+/// Launch order is readiness order: the unique path's index
+/// ALLGATHERs first (ready at 0 — the token indices are known the
+/// moment the batch loads), then the gradient-dependent ops in
+/// production order — dense ALLREDUCE buckets, input-exchange `Ug×D`
+/// ALLREDUCE buckets, output exchange likewise. Readiness follows the
+/// uniform gradient-production model ([`schedule::ready_at`]): the
+/// backward pass emits the step's gradient elements at a constant rate
+/// over `compute_ps` in call order, so bucket `i` of a payload becomes
+/// ready when its last element exists. With `overlap` off every op is
+/// pinned ready at `compute_ps`, op order stops mattering (the
+/// evaluation degenerates to the serial sum), and
+/// [`schedule::evaluate`] reproduces the legacy serial
+/// `compute + wire + touch` sum bit for bit.
+struct StepSchedule<'a> {
+    cost: &'a CostModel,
+    xcfg: &'a ExchangeConfig,
     gpus: usize,
+    /// Resolved node layout (the tier the recorder buckets by).
+    gpn: usize,
+    /// Two-tier wire schedule for dense + `Ug×D` ALLREDUCEs.
+    hierarchical: bool,
+    overlap: bool,
+    bucket_bytes: u64,
+    /// Wire bytes per gradient element (2 under FP16 compression).
+    elem: u64,
+    compute_ps: u64,
+    dense_elems: usize,
+    in_stats: ExchangeStats,
     dim: usize,
-    q: usize,
-) -> (u64, u64, u64) {
-    let hw_gpn = cost.hardware().gpus_per_node;
-    let elem: u64 = if cfg.compression.is_some() { 2 } else { 4 };
-    if cfg.unique {
-        // Index ALLGATHER + Ug×D ALLREDUCE + local table touch.
-        let gather = secs_to_ps(cost.allgather_time(stats.local_tokens as u64 * 4, gpus));
-        let (mut intra, mut inter) = flat_tier_split(gather, gpus, hw_gpn);
-        if cfg.hierarchical_for(gpus) {
-            let (a, b) = cost.hierarchical_allreduce_rank_time(
-                stats.unique_global * dim,
-                elem,
-                gpus,
-                cfg.gpus_per_node,
+    out_stats: Option<ExchangeStats>,
+    out_dim: usize,
+    /// Total gradient elements produced by the backward pass (dense +
+    /// both exchanges' payloads) — the denominator of the production
+    /// model.
+    total_grad_elems: u64,
+}
+
+impl StepSchedule<'_> {
+    /// Gradient elements an exchange's collective payload carries (the
+    /// production-model weight of that exchange).
+    fn exchange_grad_elems(xcfg: &ExchangeConfig, stats: &ExchangeStats, dim: usize) -> usize {
+        if xcfg.unique {
+            stats.unique_global * dim
+        } else {
+            stats.local_tokens * dim
+        }
+    }
+
+    /// Ready time of a gradient payload whose last element is the
+    /// `cum_elems`-th produced this step; pinned to `compute_ps` when
+    /// overlap is off (serial schedule).
+    fn grad_ready(&self, cum_elems: u64) -> u64 {
+        if self.overlap {
+            schedule::ready_at(self.compute_ps, cum_elems * 4, self.total_grad_elems * 4)
+        } else {
+            self.compute_ps
+        }
+    }
+
+    /// One ALLREDUCE slice of `n` elements for rank `q`, priced per
+    /// tier. Hierarchical: [`CostModel::hierarchical_allreduce_rank_time`],
+    /// each tier quantised separately. Flat: the ring share, assigned
+    /// whole to rank `q`'s egress-link tier.
+    fn allreduce_ps(&self, n: usize, q: usize) -> (u64, u64) {
+        if self.hierarchical {
+            let (a, b) = self
+                .cost
+                .hierarchical_allreduce_rank_time(n, self.elem, self.gpus, self.gpn, q);
+            (secs_to_ps(a), secs_to_ps(b))
+        } else {
+            flat_ring_tier_split(
+                secs_to_ps(self.cost.allreduce_rank_time(n, self.elem, self.gpus, q)),
+                self.gpus,
+                self.gpn,
+                q,
+            )
+        }
+    }
+
+    /// One ALLGATHER of `bytes` per GPU for rank `q`, priced per tier.
+    /// `tiered` routes it through the same per-tier α–β logic as the
+    /// hierarchical ALLREDUCE ([`CostModel::allgather_rank_tier_time`]):
+    /// node-local peers at intra constants, the rest at inter constants
+    /// — the unique path's index ALLGATHER used to stay flat-split even
+    /// when the config was hierarchical, pricing its node-local traffic
+    /// at Infiniband constants.
+    fn allgather_ps(&self, bytes: u64, tiered: bool, q: usize) -> (u64, u64) {
+        if tiered {
+            let (a, b) = self
+                .cost
+                .allgather_rank_tier_time(bytes, self.gpus, self.gpn, q);
+            (secs_to_ps(a), secs_to_ps(b))
+        } else {
+            flat_ring_tier_split(
+                secs_to_ps(self.cost.allgather_time(bytes, self.gpus)),
+                self.gpus,
+                self.gpn,
+                q,
+            )
+        }
+    }
+
+    /// Appends one unique exchange's index ALLGATHER for rank `q`. The
+    /// indices are known the moment the batch loads, so with overlap on
+    /// the op is ready at 0 — which is also why [`Self::ops_for`]
+    /// launches these *first*: they are the only ops that can cover the
+    /// head of the compute window, before any gradient exists.
+    fn push_index_gather(
+        &self,
+        ops: &mut Vec<CommOp>,
+        stats: &ExchangeStats,
+        label: &'static str,
+        q: usize,
+    ) {
+        let (gi, ge) = self.allgather_ps(
+            stats.local_tokens as u64 * 4,
+            self.xcfg.hierarchical_for(self.gpus),
+            q,
+        );
+        ops.push(CommOp {
+            label,
+            bucket: 0,
+            intra_ps: gi,
+            inter_ps: ge,
+            ready_ps: if self.overlap { 0 } else { self.compute_ps },
+        });
+    }
+
+    /// Appends one exchange's gradient-dependent ops for rank `q`
+    /// (advancing the gradient production cursor `cum`) and returns its
+    /// local memory-touch (apply) picoseconds. The unique path's index
+    /// ALLGATHER is *not* emitted here — see [`Self::push_index_gather`].
+    fn push_exchange_ops(
+        &self,
+        ops: &mut Vec<CommOp>,
+        stats: &ExchangeStats,
+        dim: usize,
+        labels: (&'static str, &'static str),
+        q: usize,
+        cum: &mut u64,
+    ) -> u64 {
+        let (gather_label, reduce_label) = labels;
+        if self.xcfg.unique {
+            // Ug×D ALLREDUCE gradient buckets.
+            let n = stats.unique_global * dim;
+            let per = schedule::bucket_elems(n, self.elem, self.bucket_bytes);
+            let (mut start, mut bucket) = (0usize, 0u32);
+            loop {
+                let end = (start + per).min(n);
+                let (ai, ae) = self.allreduce_ps(end - start, q);
+                *cum += (end - start) as u64;
+                ops.push(CommOp {
+                    label: reduce_label,
+                    bucket,
+                    intra_ps: ai,
+                    inter_ps: ae,
+                    ready_ps: self.grad_ready(*cum),
+                });
+                start = end;
+                bucket += 1;
+                if start >= n {
+                    break;
+                }
+            }
+            secs_to_ps(
+                self.cost
+                    .memory_touch_time(stats.unique_global as u64 * dim as u64 * 4),
+            )
+        } else {
+            // Baseline: one dense ALLGATHER of K×D rows + indices — the
+            // payload *is* the gradient, so it is ready only once its
+            // rows are produced — then a Θ(G·K·D) local update touch.
+            *cum += (stats.local_tokens * dim) as u64;
+            let (gi, ge) = self.allgather_ps(
+                stats.local_tokens as u64 * (dim as u64 * self.elem + 4),
+                false,
                 q,
             );
-            intra += secs_to_ps(a);
-            inter += secs_to_ps(b);
-        } else {
-            let t = secs_to_ps(cost.allreduce_rank_time(stats.unique_global * dim, elem, gpus, q));
-            let (a, b) = flat_tier_split(t, gpus, hw_gpn);
-            intra += a;
-            inter += b;
+            ops.push(CommOp {
+                label: gather_label,
+                bucket: 0,
+                intra_ps: gi,
+                inter_ps: ge,
+                ready_ps: self.grad_ready(*cum),
+            });
+            secs_to_ps(
+                self.cost.memory_touch_time(
+                    self.gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4,
+                ),
+            )
         }
-        let touch = secs_to_ps(cost.memory_touch_time(stats.unique_global as u64 * dim as u64 * 4));
-        (intra, inter, touch)
-    } else {
-        // Dense ALLGATHER of K×D rows + indices, then a Θ(G·K·D) local
-        // update touch.
-        let wire = secs_to_ps(
-            cost.allgather_time(stats.local_tokens as u64 * (dim as u64 * elem + 4), gpus),
+    }
+
+    /// Rebuilds `ops` with rank `q`'s full op list for this step, in
+    /// program order, and returns `q`'s apply (memory-touch)
+    /// picoseconds — the inputs of [`schedule::evaluate`]. `ops` is a
+    /// caller-hoisted buffer so the steady-state loop stays
+    /// allocation-free.
+    fn ops_for(&self, ops: &mut Vec<CommOp>, q: usize) -> u64 {
+        ops.clear();
+        let mut cum = 0u64;
+        // Unique-path index ALLGATHERs launch first: ready at batch
+        // load, they are the only comm the schedule can run before the
+        // backward pass produces its first gradient bucket. (Baseline
+        // ALLGATHERs carry the gradient rows themselves and stay in
+        // production order below.)
+        if self.xcfg.unique {
+            self.push_index_gather(ops, &self.in_stats, "in_allgather", q);
+            if let Some(stats) = &self.out_stats {
+                self.push_index_gather(ops, stats, "out_allgather", q);
+            }
+        }
+        // Dense gradient buckets (LSTM/RHN + projection).
+        let per = schedule::bucket_elems(self.dense_elems, self.elem, self.bucket_bytes);
+        let (mut start, mut bucket) = (0usize, 0u32);
+        loop {
+            let end = (start + per).min(self.dense_elems);
+            let (ai, ae) = self.allreduce_ps(end - start, q);
+            cum += (end - start) as u64;
+            ops.push(CommOp {
+                label: "dense_allreduce",
+                bucket,
+                intra_ps: ai,
+                inter_ps: ae,
+                ready_ps: self.grad_ready(cum),
+            });
+            start = end;
+            bucket += 1;
+            if start >= self.dense_elems {
+                break;
+            }
+        }
+        let mut apply = self.push_exchange_ops(
+            ops,
+            &self.in_stats,
+            self.dim,
+            ("in_allgather", "in_grad_allreduce"),
+            q,
+            &mut cum,
         );
-        let (intra, inter) = flat_tier_split(wire, gpus, hw_gpn);
-        let touch = secs_to_ps(
-            cost.memory_touch_time(gpus as u64 * stats.local_tokens as u64 * dim as u64 * 4),
-        );
-        (intra, inter, touch)
+        if let Some(stats) = &self.out_stats {
+            apply += self.push_exchange_ops(
+                ops,
+                stats,
+                self.out_dim,
+                ("out_allgather", "out_grad_allreduce"),
+                q,
+                &mut cum,
+            );
+        }
+        debug_assert_eq!(cum, self.total_grad_elems);
+        apply
     }
 }
 
@@ -640,6 +848,7 @@ fn run_rank(
         unique: cfg.method.unique,
         compression: cfg.method.compression,
         gpus_per_node: if cfg.comm.hierarchical { gpn } else { 0 },
+        bucket_bytes: cfg.comm.bucket_bytes,
     };
     let hw_gpus_per_node = cost.hardware().gpus_per_node;
     // LR scaling stays a property of the hardware preset, not of the
@@ -713,6 +922,13 @@ fn run_rank(
     // `exchange_cost_ps`), takes the max, and so derives the *same*
     // synchronous step time without any extra communication.
     let mut work_ps: Vec<u64> = vec![0; g];
+    // Hoisted op buffer for the schedule evaluation (cleared and
+    // rebuilt per rank per step — capacity persists, so the loop stays
+    // allocation-free once warm).
+    let mut ops: Vec<CommOp> = Vec::new();
+    // Cumulative simulated time — the base offset of this step's spans
+    // on the simulated timeline (`TrainReport::sim_spans`).
+    let mut sim_clock_ps: u64 = 0;
     let delay_ps: Vec<u64> = (0..g)
         .map(|q| {
             plan.straggler_delay(q).map_or(0, |d| {
@@ -790,33 +1006,56 @@ fn run_rank(
                 rec.record_since(SpanKind::Compute, t0.unwrap_or(0), 0);
             }
 
-            // Dense ALLREDUCE + average. The hierarchical route kicks in
-            // only for uncompressed multi-node groups (the f16 wire
-            // format stays on the flat ring) and is bit-identical to it.
-            let hier_dense = cfg.comm.hierarchical && cfg.method.compression.is_none() && g > gpn;
+            // Dense ALLREDUCE + average, one collective call per gradient
+            // bucket (`comm.bucket_bytes`; a single whole-payload call
+            // when 0). The hierarchical route covers every multi-node
+            // group — compressed payloads ride it in their f16 wire
+            // format, bit-identical to the flat f16 ring (a prior
+            // revision silently kept f16 on the flat ring, losing the
+            // topology the user asked for). Reduction is elementwise
+            // under a canonical leader order, so neither the slicing nor
+            // the topology moves a bit.
+            let hier_dense = cfg.comm.hierarchical && g > gpn;
             let mut dense = out.dense;
-            let t0 = recorder.as_ref().map(|rec| rec.now_ns());
-            match cfg.method.compression {
-                Some(scale) => rank.all_reduce_sum_f16(&mut dense, scale)?,
-                None if hier_dense => rank.all_reduce_sum_hierarchical(&mut dense, gpn)?,
-                None => rank.all_reduce_sum(&mut dense)?,
-            }
-            let inv_g = 1.0 / g as f32;
-            for v in &mut dense {
-                *v *= inv_g;
-            }
             let elem: u64 = if cfg.method.compression.is_some() {
                 2
             } else {
                 4
             };
-            // Exact per-rank bytes from the active wire schedule —
-            // matches the traffic recorder even when dense.len() ∤ g.
-            let dense_bytes = if hier_dense {
-                simgpu::hierarchical_allreduce_send_bytes(dense.len(), g, gpn, r, elem).total()
-            } else {
-                simgpu::ring_allreduce_send_bytes(dense.len(), g, r, elem)
-            };
+            let n_dense = dense.len();
+            let per = schedule::bucket_elems(n_dense, elem, cfg.comm.bucket_bytes);
+            let t0 = recorder.as_ref().map(|rec| rec.now_ns());
+            // Exact per-rank bytes from the active wire schedule — the
+            // sum of per-bucket shares matches the traffic recorder
+            // even when a bucket's length does not divide by g.
+            let mut dense_bytes = 0u64;
+            let mut bstart = 0usize;
+            loop {
+                let bend = (bstart + per).min(n_dense);
+                dense_bytes += if hier_dense {
+                    simgpu::hierarchical_allreduce_send_bytes(bend - bstart, g, gpn, r, elem)
+                        .total()
+                } else {
+                    simgpu::ring_allreduce_send_bytes(bend - bstart, g, r, elem)
+                };
+                let slice = &mut dense[bstart..bend];
+                match cfg.method.compression {
+                    Some(scale) if hier_dense => {
+                        rank.all_reduce_sum_f16_hierarchical(slice, scale, gpn)?
+                    }
+                    Some(scale) => rank.all_reduce_sum_f16(slice, scale)?,
+                    None if hier_dense => rank.all_reduce_sum_hierarchical(slice, gpn)?,
+                    None => rank.all_reduce_sum(slice)?,
+                }
+                bstart = bend;
+                if bstart >= n_dense {
+                    break;
+                }
+            }
+            let inv_g = 1.0 / g as f32;
+            for v in &mut dense {
+                *v *= inv_g;
+            }
             if let Some(rec) = recorder.as_mut() {
                 rec.record_since(SpanKind::AllReduce, t0.unwrap_or(0), dense_bytes);
             }
@@ -884,10 +1123,11 @@ fn run_rank(
 
             // Simulated step time on the Table II hardware, in integer
             // picoseconds. Synchronous SGD: the step ends when the
-            // slowest rank arrives, so every rank fills the same
-            // per-rank work table locally (pure arithmetic — see
-            // `exchange_cost_ps`) and takes the max. The resulting T is
-            // identical on all ranks, making `sim_time_ps` a
+            // slowest rank arrives, so every rank builds the same
+            // per-rank op schedules locally (pure arithmetic — see
+            // `StepSchedule` and `crate::schedule`), evaluates each
+            // rank's critical path, and takes the max. The resulting T
+            // is identical on all ranks, making `sim_time_ps` a
             // synchronised quantity; the *attribution* of T is
             // rank-local.
             let k = cfg.local_batch_tokens();
@@ -896,56 +1136,127 @@ fn run_rank(
                 Replica::Word(m) => m.config().proj_dim,
                 Replica::Char(_) => dim,
             };
-            let mut my_wire_intra_ps = 0u64;
-            let mut my_wire_inter_ps = 0u64;
-            let mut my_touch_ps = 0u64;
-            let mut t0_ps = 0u64; // max modelled work, delays excluded
-            let mut t_ps = 0u64; // max busy = work + injected delay
+            let sched = StepSchedule {
+                cost,
+                xcfg: &xcfg,
+                gpus: g,
+                gpn,
+                hierarchical: hier_dense,
+                overlap: cfg.comm.overlap,
+                bucket_bytes: cfg.comm.bucket_bytes,
+                elem,
+                compute_ps,
+                dense_elems: n_dense,
+                in_stats,
+                dim,
+                out_stats,
+                out_dim,
+                total_grad_elems: (n_dense
+                    + StepSchedule::exchange_grad_elems(&xcfg, &in_stats, dim)
+                    + out_stats
+                        .map(|s| StepSchedule::exchange_grad_elems(&xcfg, &s, out_dim))
+                        .unwrap_or(0)) as u64,
+            };
+            let tracing = recorder.is_some();
+            let mut my = crate::schedule::ScheduleOutcome::default();
+            let mut my_apply_ps = 0u64;
+            let mut t0_ps = 0u64; // max critical path, delays excluded
+            let mut t_ps = 0u64; // max busy = critical path + delay
             for (q, w) in work_ps.iter_mut().enumerate() {
-                let (dense_intra, dense_inter) = if hier_dense {
-                    let (a, b) =
-                        cost.hierarchical_allreduce_rank_time(dense.len(), elem, g, gpn, q);
-                    (secs_to_ps(a), secs_to_ps(b))
+                let apply_ps = sched.ops_for(&mut ops, q);
+                let outcome = if q == r && tracing {
+                    // Own rank under tracing: also lay the ops out on
+                    // the simulated timeline as concurrent spans.
+                    let base = sim_clock_ps;
+                    let spans = &mut report.sim_spans;
+                    spans.push(SimSpan {
+                        rank: r as u32,
+                        step: global_step,
+                        stream: SimStream::Compute,
+                        label: "compute",
+                        bucket: 0,
+                        t_start_ps: base,
+                        t_end_ps: base + compute_ps,
+                    });
+                    let oc =
+                        schedule::evaluate_with(compute_ps, apply_ps, &ops, |i, s_ps, e_ps| {
+                            spans.push(SimSpan {
+                                rank: r as u32,
+                                step: global_step,
+                                stream: SimStream::Comm,
+                                label: ops[i].label,
+                                bucket: ops[i].bucket,
+                                t_start_ps: base + s_ps,
+                                t_end_ps: base + e_ps,
+                            });
+                        });
+                    spans.push(SimSpan {
+                        rank: r as u32,
+                        step: global_step,
+                        stream: SimStream::Compute,
+                        label: "apply",
+                        bucket: 0,
+                        t_start_ps: base + oc.total_ps - apply_ps,
+                        t_end_ps: base + oc.total_ps,
+                    });
+                    oc
                 } else {
-                    flat_tier_split(
-                        secs_to_ps(cost.allreduce_rank_time(dense.len(), elem, g, q)),
-                        g,
-                        hw_gpus_per_node,
-                    )
+                    schedule::evaluate(compute_ps, apply_ps, &ops)
                 };
-                let (in_intra, in_inter, in_touch) =
-                    exchange_cost_ps(cost, &in_stats, &xcfg, g, dim, q);
-                let (out_intra, out_inter, out_touch) = match &out_stats {
-                    Some(s) => exchange_cost_ps(cost, s, &xcfg, g, out_dim, q),
-                    None => (0, 0, 0),
-                };
-                let wire_intra_q = dense_intra + in_intra + out_intra;
-                let wire_inter_q = dense_inter + in_inter + out_inter;
-                let touch_q = in_touch + out_touch;
-                *w = compute_ps + touch_q + wire_intra_q + wire_inter_q;
+                *w = outcome.total_ps;
                 t0_ps = t0_ps.max(*w);
                 t_ps = t_ps.max(*w + delay_ps[q]);
                 if q == r {
-                    my_wire_intra_ps = wire_intra_q;
-                    my_wire_inter_ps = wire_inter_q;
-                    my_touch_ps = touch_q;
+                    my = outcome;
+                    my_apply_ps = apply_ps;
                 }
             }
             // Exact decomposition of T for this rank: whatever exceeds
-            // this rank's busy time is waiting — up to T0 − work it is
+            // this rank's busy time is waiting — up to T0 − cp it is
             // inherent load imbalance (barrier wait), beyond that it can
-            // only be caused by peers' injected delays (skew).
+            // only be caused by peers' injected delays (skew). The comm
+            // hidden under compute is carved out of the compute bucket
+            // into `overlapped_ps`, so the seven buckets still sum to T
+            // exactly (see `crate::schedule`).
             let wait_ps = t_ps - (work_ps[r] + delay_ps[r]);
             let barrier_wait_ps = wait_ps.min(t0_ps - work_ps[r]);
             let attribution = TimeAttribution {
-                compute_ps: compute_ps + my_touch_ps,
-                wire_intra_ps: my_wire_intra_ps,
-                wire_inter_ps: my_wire_inter_ps,
+                compute_ps: compute_ps + my_apply_ps - my.overlapped_ps,
+                wire_intra_ps: my.exposed_intra_ps,
+                wire_inter_ps: my.exposed_inter_ps,
+                overlapped_ps: my.overlapped_ps,
                 barrier_wait_ps,
                 skew_ps: wait_ps - barrier_wait_ps,
                 self_delay_ps: delay_ps[r],
             };
             debug_assert_eq!(attribution.total_ps(), t_ps);
+            if tracing {
+                let base = sim_clock_ps;
+                let busy = work_ps[r] + delay_ps[r];
+                if delay_ps[r] > 0 {
+                    report.sim_spans.push(SimSpan {
+                        rank: r as u32,
+                        step: global_step,
+                        stream: SimStream::Compute,
+                        label: "self_delay",
+                        bucket: 0,
+                        t_start_ps: base + work_ps[r],
+                        t_end_ps: base + busy,
+                    });
+                }
+                if t_ps > busy {
+                    report.sim_spans.push(SimSpan {
+                        rank: r as u32,
+                        step: global_step,
+                        stream: SimStream::Compute,
+                        label: "barrier_wait",
+                        bucket: 0,
+                        t_start_ps: base + busy,
+                        t_end_ps: base + t_ps,
+                    });
+                }
+            }
+            sim_clock_ps += t_ps;
             epoch_time_ps += t_ps;
             report.attribution.accumulate(&attribution);
 
@@ -1185,6 +1496,7 @@ mod tests {
             gpus_per_node: 2,
             hierarchical: true,
             pool_workers: 3,
+            ..CommConfig::flat()
         };
         let flat = train(&flat_cfg).expect("flat");
         let hier = train(&hier_cfg).expect("hier");
@@ -1219,6 +1531,7 @@ mod tests {
             gpus_per_node: gpn,
             hierarchical: true,
             pool_workers: 2,
+            ..CommConfig::flat()
         };
         let reports: Vec<TrainReport> = train_with_faults(&cfg, UNLIMITED, &FaultPlan::none())
             .into_iter()

@@ -991,6 +991,59 @@ impl Rank {
         Ok(())
     }
 
+    /// Hierarchical two-tier ALLREDUCE with FP16 wire compression and
+    /// compression-scaling: the §V-C schedule of
+    /// [`Rank::all_reduce_sum_hierarchical`] carrying the 2-byte wire
+    /// format of [`Rank::all_reduce_sum_f16`]. The reduction emulates
+    /// the compressed hops in canonical ascending-rank order, so the
+    /// *result* is bit-identical to the flat f16 ring on every rank —
+    /// topology only changes which links the bytes traverse. Wire
+    /// accounting charges [`hierarchical_allreduce_send_bytes`] at
+    /// 2 bytes per element, phase by phase per tier. Falls back to the
+    /// flat f16 ring when the group fits in one node; `gpus_per_node ==
+    /// 0` yields the same recoverable typed [`CommError`] as the f32
+    /// variant.
+    pub fn all_reduce_sum_f16_hierarchical(
+        &self,
+        data: &mut [f32],
+        scale: f32,
+        gpus_per_node: usize,
+    ) -> Result<(), CommError> {
+        assert!(scale > 0.0, "compression scale must be positive");
+        if gpus_per_node == 0 {
+            return Err(CommError {
+                failed_rank: self.rank,
+                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
+            });
+        }
+        let g = self.core.world;
+        if g <= gpus_per_node {
+            return self.all_reduce_sum_f16(data, scale);
+        }
+        if self.rank == 0 {
+            self.core.traffic.count_allreduce_op();
+        }
+        let r = self.rank;
+        {
+            let mut slot = self.core.gather_f32[r].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        self.core
+            .traffic
+            .record_allreduce_split(hierarchical_allreduce_send_bytes(
+                data.len(),
+                g,
+                gpus_per_node,
+                r,
+                2,
+            ));
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f16_emulated(core, scale))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
+        Ok(())
+    }
+
     /// Broadcasts `data` from `root` to all ranks.
     pub fn broadcast_f32(&self, data: &mut Vec<f32>, root: usize) -> Result<(), CommError> {
         assert!(root < self.core.world, "root out of range");
@@ -1798,6 +1851,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_f16_matches_flat_f16_bit_exactly_and_accounts_per_tier() {
+        // Satellite bugfix: the two-tier schedule must carry the f16
+        // wire format — bit-identical to the flat f16 ring (the per-hop
+        // quantisation order is canonical, not topological), with
+        // per-tier analytic bytes == recorded at 2 bytes per element.
+        let scale = 64.0f32;
+        for (world, per_node) in [(4usize, 2usize), (6, 2), (8, 4), (5, 2), (9, 4)] {
+            let n = 33;
+            let mk =
+                |r: usize| -> Vec<f32> { (0..n).map(|i| (i + r * 10) as f32 * 0.37).collect() };
+            let flat = run_group(world, |rank| {
+                let mut data = mk(rank.rank());
+                rank.all_reduce_sum_f16(&mut data, scale).unwrap();
+                data
+            });
+            let hier = run_group(world, |rank| {
+                let mut data = mk(rank.rank());
+                rank.all_reduce_sum_f16_hierarchical(&mut data, scale, per_node)
+                    .unwrap();
+                data
+            });
+            for r in 0..world {
+                assert_eq!(flat[r], hier[r], "world {world}/{per_node} rank {r}");
+            }
+            let snap = run_group(world, |rank| {
+                let mut data = mk(rank.rank());
+                rank.reset_traffic().unwrap();
+                rank.all_reduce_sum_f16_hierarchical(&mut data, scale, per_node)
+                    .unwrap();
+                rank.traffic()
+            })[0];
+            let mut analytic = TierBytes::default();
+            for r in 0..world {
+                analytic += hierarchical_allreduce_send_bytes(n, world, per_node, r, 2);
+            }
+            assert_eq!(
+                (snap.allreduce_intra_bytes, snap.allreduce_inter_bytes),
+                (analytic.intra, analytic.inter),
+                "world {world}/{per_node}"
+            );
+            assert!(
+                snap.allreduce_inter_bytes > 0,
+                "leaders must pay the IB tier"
+            );
+        }
+        // Invalid topology: same recoverable typed error as the f32 path.
+        let results = run_group(2, |rank| {
+            let mut data = vec![rank.rank() as f32; 4];
+            let err = rank
+                .all_reduce_sum_f16_hierarchical(&mut data, scale, 0)
+                .unwrap_err();
+            assert!(err.reason.contains("gpus_per_node"), "{}", err.reason);
+            rank.all_reduce_sum_f16_hierarchical(&mut data, scale, 1)
+                .unwrap();
+            data[0]
+        });
+        assert_eq!(results, vec![1.0, 1.0]);
     }
 
     #[test]

@@ -144,6 +144,48 @@ impl CostModel {
         (intra, inter)
     }
 
+    /// Per-tier seconds *rank `rank`* spends in an ALLGATHER of
+    /// `bytes_per_gpu` from each of `gpus` GPUs laid out
+    /// `gpus_per_node` per node — the α–β mirror of
+    /// [`crate::comm::peer_exchange_tier_bytes`]'s peer-exchange byte
+    /// schedule, so a hierarchical run's two collectives (this and the
+    /// ALLREDUCE) agree about topology. Returns `(intra_secs,
+    /// inter_secs)`: the rank sends its payload once per peer, node-mates
+    /// priced at intra-node α/β and remote peers at inter-node α/β
+    /// (ragged last nodes keep the exact peer counts). Quantise each
+    /// component separately (`secs_to_ps`) and `wire = intra_ps +
+    /// inter_ps` reconciles exactly. Falls back to the flat
+    /// [`CostModel::allgather_time`] (all intra) when the group fits in
+    /// one node.
+    pub fn allgather_rank_tier_time(
+        &self,
+        bytes_per_gpu: u64,
+        gpus: usize,
+        gpus_per_node: usize,
+        rank: usize,
+    ) -> (f64, f64) {
+        assert!(gpus >= 1 && rank < gpus);
+        assert!(
+            gpus_per_node >= 1,
+            "topology needs at least one GPU per node"
+        );
+        if gpus == 1 {
+            return (0.0, 0.0);
+        }
+        if gpus <= gpus_per_node {
+            return (self.allgather_time(bytes_per_gpu, gpus), 0.0);
+        }
+        let node_start = (rank / gpus_per_node) * gpus_per_node;
+        let node_size = gpus_per_node.min(gpus - node_start);
+        let intra_peers = (node_size - 1) as f64;
+        let inter_peers = (gpus - node_size) as f64;
+        let intra = intra_peers * self.hw.intra_latency
+            + intra_peers * bytes_per_gpu as f64 / self.hw.intra_node_bw;
+        let inter = inter_peers * self.hw.inter_latency
+            + inter_peers * bytes_per_gpu as f64 / self.hw.inter_node_bw;
+        (intra, inter)
+    }
+
     /// Seconds for an ALLGATHER where each GPU contributes
     /// `bytes_per_gpu` and receives all others' contributions.
     pub fn allgather_time(&self, bytes_per_gpu: u64, gpus: usize) -> f64 {
@@ -289,6 +331,31 @@ mod tests {
             })
             .fold(0.0, f64::max);
         assert!(hier < flat, "hier {hier} must beat flat {flat}");
+    }
+
+    #[test]
+    fn allgather_tier_time_splits_and_falls_back() {
+        let m = model();
+        // One-node groups collapse to the flat expression, all intra.
+        for r in 0..4 {
+            let (intra, inter) = m.allgather_rank_tier_time(1 << 16, 4, 8, r);
+            assert_eq!(intra, m.allgather_time(1 << 16, 4));
+            assert_eq!(inter, 0.0);
+        }
+        // Multi-node (ragged): every rank pays both tiers, peer counts
+        // follow the node sizes — rank 4 sits alone on node 2 and has
+        // no intra peers at all.
+        let (gpus, gpn) = (5usize, 2usize);
+        for r in 0..gpus {
+            let (intra, inter) = m.allgather_rank_tier_time(1 << 16, gpus, gpn, r);
+            if r == 4 {
+                assert_eq!(intra, 0.0, "lone rank on the last node");
+            } else {
+                assert!(intra > 0.0);
+            }
+            assert!(inter > 0.0);
+        }
+        assert_eq!(m.allgather_rank_tier_time(1 << 20, 1, 8, 0), (0.0, 0.0));
     }
 
     #[test]

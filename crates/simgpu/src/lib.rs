@@ -60,5 +60,8 @@ pub use fault::FaultPlan;
 pub use hw::HardwareConfig;
 pub use pool::{run_ranks, RunGate};
 pub use timing::PhaseTimer;
-pub use trace::{chrome_trace_json, secs_to_ps, SpanKind, TraceEvent, TraceLog, TraceRecorder};
+pub use trace::{
+    chrome_trace_json, secs_to_ps, sim_trace_json, SimSpan, SimStream, SpanKind, TraceEvent,
+    TraceLog, TraceRecorder,
+};
 pub use traffic::{Tier, TierBytes, TrafficRecorder, TrafficSnapshot};

@@ -321,6 +321,107 @@ pub fn chrome_trace_json(logs: &[TraceLog]) -> String {
     out
 }
 
+/// Which execution stream of the modelled step a [`SimSpan`] occupies.
+///
+/// The overlapped step schedule runs two streams per rank: the compute
+/// stream (forward/backward, then the gradient application) and the
+/// comm stream (the serialized collective ops). A comm span whose
+/// interval intersects a compute span *is* the overlap — the hidden
+/// time the `overlapped_ps` attribution bucket counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimStream {
+    /// Local model work and gradient application.
+    Compute,
+    /// Collective operations (serialized per rank).
+    Comm,
+}
+
+/// One op instance on a rank's *simulated* step timeline, positioned in
+/// integer picoseconds since the start of the run — the cost model's
+/// clock, not wall clock. Produced by the trainer's step schedule and
+/// rendered by [`sim_trace_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSpan {
+    /// Rank the span belongs to.
+    pub rank: u32,
+    /// Global training step.
+    pub step: u64,
+    /// Stream the span occupies (one Chrome track per stream per rank).
+    pub stream: SimStream,
+    /// Stable op name (e.g. `"DenseAllReduce"`).
+    pub label: &'static str,
+    /// Bucket index within the op family (0 for unbucketed ops).
+    pub bucket: u32,
+    /// Simulated start, picoseconds since run start.
+    pub t_start_ps: u64,
+    /// Simulated end, picoseconds since run start.
+    pub t_end_ps: u64,
+}
+
+/// Microsecond string with picosecond precision (`ps/1e6.ps%1e6`), via
+/// integer math so output is bit-stable across platforms.
+fn micros_ps(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Serialises simulated-schedule spans into Chrome Trace Event Format
+/// JSON (load in `chrome://tracing` or Perfetto, like
+/// [`chrome_trace_json`] — but this timeline is the *cost model's*, in
+/// exact picoseconds, not wall clock). Track layout: rank `r`'s compute
+/// stream on `tid = 2r` ("rank r compute"), its comm stream on
+/// `tid = 2r + 1` ("rank r comm"), declared in first-appearance order —
+/// so overlapped collectives render as comm spans running concurrently
+/// with the compute span directly above them. Byte-stable for identical
+/// input.
+pub fn sim_trace_json(spans: &[SimSpan]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut seen: Vec<u32> = Vec::new();
+    for s in spans {
+        if !seen.contains(&s.rank) {
+            seen.push(s.rank);
+        }
+    }
+    for &r in &seen {
+        let r = u64::from(r);
+        push_meta(
+            &mut out,
+            &mut first,
+            2 * r,
+            &format!("rank {r} compute"),
+            2 * r,
+        );
+        push_meta(
+            &mut out,
+            &mut first,
+            2 * r + 1,
+            &format!("rank {r} comm"),
+            2 * r + 1,
+        );
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = match s.stream {
+            SimStream::Compute => 2 * u64::from(s.rank),
+            SimStream::Comm => 2 * u64::from(s.rank) + 1,
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"step\":{},\"bucket\":{}}}}}",
+            s.label,
+            micros_ps(s.t_start_ps),
+            micros_ps(s.t_end_ps.saturating_sub(s.t_start_ps)),
+            s.step,
+            s.bucket,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +501,42 @@ mod tests {
         assert_eq!(log.span_ns(SpanKind::Gather), 25);
         assert_eq!(log.span_ns(SpanKind::Apply), 5);
         assert_eq!(log.span_ns(SpanKind::AllReduce), 0);
+    }
+
+    #[test]
+    fn sim_json_routes_streams_and_keeps_ps_precision() {
+        let spans = [
+            SimSpan {
+                rank: 0,
+                step: 3,
+                stream: SimStream::Compute,
+                label: "Compute",
+                bucket: 0,
+                t_start_ps: 0,
+                t_end_ps: 2_000_001,
+            },
+            SimSpan {
+                rank: 0,
+                step: 3,
+                stream: SimStream::Comm,
+                label: "DenseAllReduce",
+                bucket: 1,
+                t_start_ps: 1_000_000,
+                t_end_ps: 1_500_007,
+            },
+        ];
+        let json = sim_trace_json(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"rank 0 compute\""));
+        assert!(json.contains("\"name\":\"rank 0 comm\""));
+        // Compute on tid 0, comm on tid 1; ps precision survives as
+        // six fractional digits of the microsecond timestamps.
+        assert!(json.contains("\"name\":\"Compute\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.000000,\"dur\":2.000001"));
+        assert!(json.contains("\"name\":\"DenseAllReduce\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":1.000000,\"dur\":0.500007"));
+        assert!(json.contains("\"args\":{\"step\":3,\"bucket\":1}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(sim_trace_json(&[]).ends_with("[]}"));
     }
 
     #[test]

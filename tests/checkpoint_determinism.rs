@@ -131,6 +131,7 @@ fn synth_checkpoint(params: Vec<u32>, mix: u64, world: u32, rank: u32, step: u64
                 barrier_wait_ps: u64_at(4),
                 skew_ps: u64_at(6),
                 self_delay_ps: u64_at(8),
+                overlapped_ps: u64_at(9),
             },
         },
     }

@@ -151,7 +151,7 @@ fn compressed_paths_track_exact_paths() {
         ExchangeConfig {
             unique: true,
             compression: Some(1024.0),
-            gpus_per_node: 0,
+            ..ExchangeConfig::baseline()
         },
     );
     let diff = exact.max_abs_diff(&compressed);

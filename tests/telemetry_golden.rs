@@ -128,6 +128,7 @@ fn steps_jsonl_is_byte_stable() {
             barrier_wait_ps: 80,
             skew_ps: 0,
             self_delay_ps: 0,
+            overlapped_ps: 0,
         },
         4_096,
         960,
@@ -144,6 +145,7 @@ fn steps_jsonl_is_byte_stable() {
             barrier_wait_ps: 0,
             skew_ps: 6_000,
             self_delay_ps: 0,
+            overlapped_ps: 110,
         },
         4_096,
         950,
@@ -161,6 +163,7 @@ fn steps_jsonl_is_byte_stable() {
             barrier_wait_ps: 0,
             skew_ps: 0,
             self_delay_ps: 9_000,
+            overlapped_ps: 0,
         },
         4_096,
         955,
@@ -171,17 +174,17 @@ fn steps_jsonl_is_byte_stable() {
     let expected = concat!(
         "{\"step\":0,\"train_loss\":5.25,\"sim_time_ps\":980,\"compute_ps\":700,",
         "\"wire_ps\":200,\"wire_intra_ps\":150,\"wire_inter_ps\":50,",
-        "\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,",
+        "\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,\"overlapped_ps\":0,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":960,\"output_wire_bytes\":480,",
         "\"unique_global\":37}\n",
-        "{\"step\":1,\"train_loss\":4.5,\"sim_time_ps\":6890,\"compute_ps\":700,",
+        "{\"step\":1,\"train_loss\":4.5,\"sim_time_ps\":7000,\"compute_ps\":700,",
         "\"wire_ps\":190,\"wire_intra_ps\":190,\"wire_inter_ps\":0,",
-        "\"barrier_wait_ps\":0,\"skew_ps\":6000,\"self_delay_ps\":0,",
+        "\"barrier_wait_ps\":0,\"skew_ps\":6000,\"self_delay_ps\":0,\"overlapped_ps\":110,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":950,\"output_wire_bytes\":0,",
         "\"unique_global\":35}\n",
         "{\"step\":2,\"train_loss\":null,\"sim_time_ps\":9910,\"compute_ps\":700,",
         "\"wire_ps\":210,\"wire_intra_ps\":0,\"wire_inter_ps\":210,",
-        "\"barrier_wait_ps\":0,\"skew_ps\":0,\"self_delay_ps\":9000,",
+        "\"barrier_wait_ps\":0,\"skew_ps\":0,\"self_delay_ps\":9000,\"overlapped_ps\":0,",
         "\"dense_bytes\":4096,\"input_wire_bytes\":955,\"output_wire_bytes\":500,",
         "\"unique_global\":36}\n",
     );

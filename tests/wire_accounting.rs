@@ -73,7 +73,7 @@ fn configs() -> [ExchangeConfig; 4] {
         ExchangeConfig {
             unique: false,
             compression: Some(512.0),
-            gpus_per_node: 0,
+            ..ExchangeConfig::baseline()
         },
         ExchangeConfig::unique(),
         ExchangeConfig::unique_compressed(),
@@ -133,7 +133,7 @@ fn compression_halves_exactly_the_row_terms() {
         ExchangeConfig {
             unique: false,
             compression: Some(512.0),
-            gpus_per_node: 0,
+            ..ExchangeConfig::baseline()
         },
     );
     let index_term = (16 * 4 * (world - 1)) as u64;
