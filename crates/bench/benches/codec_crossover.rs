@@ -1,0 +1,51 @@
+//! Bench target for the wire-codec volume-vs-compute crossover: one
+//! training run per (world, codec) cell over worlds 8/48/192 and the
+//! full codec ladder, on the two-tier pooled topology. The sweep
+//! internally re-verifies the lossless contract (bit-equal losses,
+//! never-expand wire, exact attribution), then persists the byte/time
+//! surface as `BENCH_codec_crossover.json` at the workspace root.
+//! Every field is simulated, so the file is deterministic: CI asserts a
+//! fresh run leaves the committed golden byte-identical, exactly like
+//! `BENCH_overlap.json`.
+//!
+//! `harness = false`: this is a measured experiment with a side effect,
+//! not a statistical microbenchmark.
+
+use std::time::Instant;
+use zlm_bench::{codec_crossover, codec_crossover_json};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let t0 = Instant::now();
+    let rows = codec_crossover(!full);
+    let wall = t0.elapsed();
+
+    println!("codec_crossover: wire volume vs codec compute per world (pool = 8 run slots)");
+    println!(
+        "{:>5} {:>16} {:>14} {:>14} {:>14} {:>10}",
+        "gpus", "codec", "sim_ms", "wire_MB", "index_MB", "vs_ident"
+    );
+    let mut ident_ps = 0u64;
+    for r in &rows {
+        if r.codec == "identity" {
+            ident_ps = r.sim_time_ps;
+        }
+        println!(
+            "{:>5} {:>16} {:>14.3} {:>14.3} {:>14.3} {:>9.4}x",
+            r.gpus,
+            r.codec,
+            r.sim_time_ps as f64 / 1e9,
+            r.wire_bytes as f64 / 1e6,
+            r.index_gather_bytes as f64 / 1e6,
+            ident_ps as f64 / r.sim_time_ps as f64,
+        );
+    }
+    println!("(numerics verified bit-identical across the ladder; wall {wall:.2?})");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_codec_crossover.json"
+    );
+    std::fs::write(path, codec_crossover_json(&rows)).expect("write BENCH_codec_crossover.json");
+    println!("wrote {path}");
+}

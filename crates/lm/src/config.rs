@@ -299,6 +299,15 @@ pub struct CommConfig {
     /// more comm under compute but cost more α). `0` = one bucket per
     /// payload (the legacy collectives, byte-for-byte).
     pub bucket_bytes: u64,
+    /// Lossless wire codec for the collective payloads (ZipCCL-style;
+    /// see [`simgpu::codec`]): delta+varint over the ALLGATHERed index
+    /// lists and/or exponent-packing of the gradient ALLREDUCE rows.
+    /// Results (losses, params, checkpoints) are bit-identical to
+    /// [`simgpu::WireCodecId::Identity`] — only wire bytes and simulated
+    /// time change. Composes with `Method::compression`: an FP16 wire is
+    /// already its own (lossy) format, so the gradient codec then steps
+    /// aside while the index codec keeps applying.
+    pub codec: simgpu::WireCodecId,
 }
 
 impl CommConfig {
@@ -310,6 +319,7 @@ impl CommConfig {
             pool_workers: 0,
             overlap: false,
             bucket_bytes: 0,
+            codec: simgpu::WireCodecId::Identity,
         }
     }
 
@@ -330,6 +340,12 @@ impl CommConfig {
     pub fn overlapped(mut self, bucket_bytes: u64) -> Self {
         self.overlap = true;
         self.bucket_bytes = bucket_bytes;
+        self
+    }
+
+    /// Selects a wire codec for the collective payloads.
+    pub fn with_codec(mut self, codec: simgpu::WireCodecId) -> Self {
+        self.codec = codec;
         self
     }
 }
@@ -460,6 +476,19 @@ mod tests {
         assert_eq!(ov.bucket_bytes, 1 << 20);
         let hov = CommConfig::hierarchical_pooled(8).overlapped(0);
         assert!(hov.overlap && hov.hierarchical);
+    }
+
+    #[test]
+    fn codec_defaults_identity_and_composes() {
+        let d = TrainConfig::default().comm;
+        assert_eq!(d.codec, simgpu::WireCodecId::Identity);
+        assert!(d.codec.index_codec().is_none() && d.codec.grad_codec().is_none());
+        let c = CommConfig::hierarchical_pooled(8)
+            .overlapped(1 << 16)
+            .with_codec(simgpu::WireCodecId::Lossless);
+        assert!(c.hierarchical && c.overlap);
+        assert_eq!(c.codec, simgpu::WireCodecId::Lossless);
+        assert!(c.codec.index_codec().is_some() && c.codec.grad_codec().is_some());
     }
 
     #[test]

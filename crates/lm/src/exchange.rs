@@ -81,6 +81,14 @@ pub struct ExchangeConfig {
     /// bucketing moves no bits; the analytic `wire_bytes` switch to the
     /// sum of per-bucket ring shares in lock-step with the recorder.
     pub bucket_bytes: u64,
+    /// Lossless wire codec for the unique path's collectives (see
+    /// [`simgpu::codec`]): the index codec frames step 3's ALLGATHER,
+    /// the gradient codec frames step 6's ALLREDUCE buckets whenever
+    /// `compression` is `None` (an FP16 wire is already its own format
+    /// and keeps its own accounting). The baseline dense exchange
+    /// ignores the codec — it is the paper's uncompressed yardstick.
+    /// Results are bit-identical to `Identity`; only wire bytes move.
+    pub codec: simgpu::WireCodecId,
 }
 
 impl ExchangeConfig {
@@ -91,6 +99,7 @@ impl ExchangeConfig {
             compression: None,
             gpus_per_node: 0,
             bucket_bytes: 0,
+            codec: simgpu::WireCodecId::Identity,
         }
     }
 
@@ -176,6 +185,20 @@ pub struct ExchangeStats {
     /// scattered gradient state (the quantity that runs GPUs out of
     /// memory in Tables III/IV).
     pub peak_buffer_bytes: u64,
+    /// Raw (pre-codec) bytes of this rank's step-6 ALLREDUCE payloads:
+    /// Σ over buckets of bucket elements × wire element size. Equals
+    /// `reduce_enc_bytes` whenever no gradient codec is active, so the
+    /// step scheduler's enc/raw ratio collapses to exactly 1.
+    pub reduce_raw_bytes: u64,
+    /// The same payloads under the active gradient codec: Σ over
+    /// buckets of the codec's encoded length on the *reduced* bucket
+    /// (rank-invariant — the reduced matrix is identical everywhere).
+    /// Never exceeds `reduce_raw_bytes` (codecs never expand).
+    pub reduce_enc_bytes: u64,
+    /// Σ over all ranks of the encoded index-publish length for step
+    /// 3's ALLGATHER (raw equivalent: `local_tokens · 4 · G`). Computed
+    /// from the gathered vector, so every rank prices the same number.
+    pub index_enc_bytes: u64,
     /// Measured wall-time per phase on this rank.
     pub timings: PhaseTimings,
 }
@@ -388,6 +411,9 @@ pub fn baseline_exchange_traced(
         unique_global: 0,
         wire_bytes,
         peak_buffer_bytes,
+        reduce_raw_bytes: 0,
+        reduce_enc_bytes: 0,
+        index_enc_bytes: total_rows * 4,
         timings,
     })
 }
@@ -487,15 +513,39 @@ pub fn unique_exchange_cfg_traced(
     trace_rec(&mut trace, SpanKind::Unique, t0, 0);
 
     // Step 3: ALLGATHER the *index* vectors J (Θ(G·K), not Θ(G·K·D)).
+    // With an index codec, each rank publishes its delta+varint frame
+    // and peers decode all G of them — the gathered vector is byte-for-
+    // byte what the legacy path produces, only the wire charge shrinks.
+    let index_codec = cfg.codec.index_codec();
     let t0 = trace_now(&trace);
-    rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
+    let index_pub_bytes = match index_codec {
+        Some(c) => {
+            rank.all_gather_u32_codec_into(&grad.indices, c, &mut scratch.all_indices)?;
+            c.encoded_len_u32(&grad.indices)
+        }
+        None => {
+            rank.all_gather_u32_into(&grad.indices, &mut scratch.all_indices)?;
+            (n_local as u64) * 4
+        }
+    };
     timings.gather_ns = timer.lap_ns();
     trace_rec(
         &mut trace,
         SpanKind::Gather,
         t0,
-        (n_local as u64) * 4 * (g as u64 - 1),
+        index_pub_bytes * (g as u64 - 1),
     );
+    // Σ over ranks of encoded publish lengths, sliced out of the
+    // gathered vector so every rank derives the identical total (the
+    // step scheduler needs all ranks to price one synchronized time).
+    // Ragged contributions can't be re-sliced; fall back to own × G.
+    let index_enc_bytes = match index_codec {
+        Some(c) if scratch.all_indices.len() == n_local * g && n_local > 0 => (0..g)
+            .map(|q| c.encoded_len_u32(&scratch.all_indices[q * n_local..(q + 1) * n_local]))
+            .sum(),
+        Some(_) => index_pub_bytes * g as u64,
+        None => (scratch.all_indices.len() as u64) * 4,
+    };
 
     // Step 4: filter to the globally-unique, canonically-ordered index
     // set Î in O(G·K). The gathered vector is identical on every rank,
@@ -530,34 +580,76 @@ pub fn unique_exchange_cfg_traced(
     // the two-tier path each bucket contributes the hierarchical
     // schedule's exact total instead.
     let hierarchical = cfg.hierarchical_for(g);
+    // The gradient codec steps aside under an FP16 wire: that payload
+    // already has its own format and byte accounting.
+    let grad_codec = if compression.is_none() {
+        cfg.codec.grad_codec()
+    } else {
+        None
+    };
     let n_m = u_global * d;
     let per = crate::schedule::bucket_elems(n_m, elem_bytes, cfg.bucket_bytes);
     let t0 = trace_now(&trace);
     let mut ring_bytes = 0u64;
+    let mut reduce_raw_bytes = 0u64;
+    let mut reduce_enc_bytes = 0u64;
     let mut start = 0usize;
     loop {
         let end = (start + per).min(n_m);
-        ring_bytes += if hierarchical {
-            simgpu::hierarchical_allreduce_send_bytes(
+        let slice = &mut scratch.m[start..end];
+        match (compression, grad_codec) {
+            (Some(scale), _) if hierarchical => {
+                rank.all_reduce_sum_f16_hierarchical(slice, scale, cfg.gpus_per_node)?
+            }
+            (Some(scale), _) => rank.all_reduce_sum_f16(slice, scale)?,
+            (None, Some(c)) if hierarchical => {
+                rank.all_reduce_sum_hierarchical_codec(slice, c, cfg.gpus_per_node)?
+            }
+            (None, Some(c)) => rank.all_reduce_sum_codec(slice, c)?,
+            (None, None) if hierarchical => {
+                rank.all_reduce_sum_hierarchical(slice, cfg.gpus_per_node)?
+            }
+            (None, None) => rank.all_reduce_sum(slice)?,
+        }
+        // Analytic bytes come *after* the collective so the codec arms
+        // can price every chunk at its encoded length on the *reduced*
+        // payload — the steady-state re-encode model the recorder
+        // charges (each hop retransmits the already-reduced chunk).
+        let reduced = &scratch.m[start..end];
+        let nb = reduced.len() as u64;
+        ring_bytes += match grad_codec {
+            Some(c) => {
+                let n = reduced.len();
+                let chunk_bytes = |parts: usize, chunk: usize| {
+                    c.encoded_len_f32(&reduced[simgpu::chunk_range(n, parts, chunk)])
+                };
+                if hierarchical {
+                    simgpu::hierarchical_allreduce_send_bytes_parts(
+                        g,
+                        cfg.gpus_per_node,
+                        rank.rank(),
+                        chunk_bytes,
+                    )
+                    .total()
+                } else {
+                    simgpu::ring_allreduce_send_bytes_parts(g, rank.rank(), chunk_bytes)
+                }
+            }
+            None if hierarchical => simgpu::hierarchical_allreduce_send_bytes(
                 end - start,
                 g,
                 cfg.gpus_per_node,
                 rank.rank(),
                 elem_bytes,
             )
-            .total()
-        } else {
-            simgpu::ring_allreduce_send_bytes(end - start, g, rank.rank(), elem_bytes)
+            .total(),
+            None => simgpu::ring_allreduce_send_bytes(end - start, g, rank.rank(), elem_bytes),
         };
-        let slice = &mut scratch.m[start..end];
-        match compression {
-            Some(scale) if hierarchical => {
-                rank.all_reduce_sum_f16_hierarchical(slice, scale, cfg.gpus_per_node)?
-            }
-            Some(scale) => rank.all_reduce_sum_f16(slice, scale)?,
-            None if hierarchical => rank.all_reduce_sum_hierarchical(slice, cfg.gpus_per_node)?,
-            None => rank.all_reduce_sum(slice)?,
-        }
+        reduce_raw_bytes += nb * elem_bytes;
+        reduce_enc_bytes += match grad_codec {
+            Some(c) => c.encoded_len_f32(reduced),
+            None => nb * elem_bytes,
+        };
         start = end;
         if start >= n_m {
             break;
@@ -578,8 +670,9 @@ pub fn unique_exchange_cfg_traced(
     timings.apply_ns = timer.lap_ns();
     trace_rec(&mut trace, SpanKind::Apply, t0, 0);
 
-    // Index gather: K·4·(G−1); ring ALLREDUCE: exact per-rank bytes.
-    let wire_bytes = (n_local as u64) * 4 * (g as u64 - 1) + ring_bytes;
+    // Index gather: encoded publish × (G−1) peers (raw 4K when no
+    // codec); ring ALLREDUCE: exact per-rank bytes.
+    let wire_bytes = index_pub_bytes * (g as u64 - 1) + ring_bytes;
     // Buffers live simultaneously at the ALLREDUCE: G·K gathered
     // indices, the locally-reduced Ĵ (Ui indices) + ∆̂ (Ui×D rows) that
     // step 5 scatters from, and the Ug×D matrix M itself.
@@ -594,6 +687,9 @@ pub fn unique_exchange_cfg_traced(
         unique_global: u_global,
         wire_bytes,
         peak_buffer_bytes,
+        reduce_raw_bytes,
+        reduce_enc_bytes,
+        index_enc_bytes,
         timings,
     })
 }

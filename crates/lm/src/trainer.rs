@@ -592,6 +592,16 @@ struct StepSchedule<'a> {
     bucket_bytes: u64,
     /// Wire bytes per gradient element (2 under FP16 compression).
     elem: u64,
+    /// Active gradient codec (`None` ⇒ identity pricing). Wire bytes
+    /// scale by the measured enc/raw ratio of each payload and the
+    /// encode+decode compute is priced via [`CostModel::codec_time`].
+    grad_codec: Option<&'static dyn simgpu::WireCodec>,
+    /// Active index codec for the unique path's ALLGATHERs.
+    index_codec: Option<&'static dyn simgpu::WireCodec>,
+    /// This step's dense ALLREDUCE payload: raw wire bytes (`n·elem`)
+    /// and codec-encoded bytes (equal when no codec is active).
+    dense_raw_bytes: u64,
+    dense_enc_bytes: u64,
     compute_ps: u64,
     dense_elems: usize,
     in_stats: ExchangeStats,
@@ -626,24 +636,65 @@ impl StepSchedule<'_> {
         }
     }
 
+    /// Scales identity wire bytes by a payload's measured enc/raw
+    /// codec ratio in exact integer arithmetic (`u128` — no rounding
+    /// drift across ranks, and a byte-exact no-op when `enc == raw`).
+    fn scaled(bytes: u64, enc: u64, raw: u64) -> u64 {
+        if raw == 0 || enc == raw {
+            bytes
+        } else {
+            ((bytes as u128 * enc as u128) / raw as u128) as u64
+        }
+    }
+
     /// One ALLREDUCE slice of `n` elements for rank `q`, priced per
-    /// tier. Hierarchical: [`CostModel::hierarchical_allreduce_rank_time`],
-    /// each tier quantised separately. Flat: the ring share, assigned
-    /// whole to rank `q`'s egress-link tier.
-    fn allreduce_ps(&self, n: usize, q: usize) -> (u64, u64) {
+    /// tier. Hierarchical:
+    /// [`CostModel::hierarchical_allreduce_rank_time_bytes`], each tier
+    /// quantised separately. Flat: the ring share, assigned whole to
+    /// rank `q`'s egress-link tier. With a codec the identity byte
+    /// counts shrink by the payload's enc/raw ratio and the
+    /// encode+decode passes (one over sent chunks, one over received —
+    /// ≈ 2× the identity send volume) are charged as intra-node time.
+    fn allreduce_ps(
+        &self,
+        n: usize,
+        enc: u64,
+        raw: u64,
+        codec: Option<&'static dyn simgpu::WireCodec>,
+        q: usize,
+    ) -> (u64, u64) {
+        let (mut intra, inter, ident_bytes);
         if self.hierarchical {
+            let tb =
+                simgpu::hierarchical_allreduce_send_bytes(n, self.gpus, self.gpn, q, self.elem);
+            ident_bytes = tb.total();
+            let stb = simgpu::TierBytes {
+                intra: Self::scaled(tb.intra, enc, raw),
+                inter: Self::scaled(tb.inter, enc, raw),
+            };
             let (a, b) = self
                 .cost
-                .hierarchical_allreduce_rank_time(n, self.elem, self.gpus, self.gpn, q);
-            (secs_to_ps(a), secs_to_ps(b))
+                .hierarchical_allreduce_rank_time_bytes(stb, self.gpus, self.gpn, q);
+            intra = secs_to_ps(a);
+            inter = secs_to_ps(b);
         } else {
-            flat_ring_tier_split(
-                secs_to_ps(self.cost.allreduce_rank_time(n, self.elem, self.gpus, q)),
+            ident_bytes = simgpu::ring_allreduce_send_bytes(n, self.gpus, q, self.elem);
+            let (a, b) = flat_ring_tier_split(
+                secs_to_ps(
+                    self.cost
+                        .allreduce_rank_time_bytes(Self::scaled(ident_bytes, enc, raw), self.gpus),
+                ),
                 self.gpus,
                 self.gpn,
                 q,
-            )
+            );
+            intra = a;
+            inter = b;
         }
+        if let Some(c) = codec {
+            intra += secs_to_ps(self.cost.codec_time(2 * ident_bytes, c.throughput_bps()));
+        }
+        (intra, inter)
     }
 
     /// One ALLGATHER of `bytes` per GPU for rank `q`, priced per tier.
@@ -681,11 +732,21 @@ impl StepSchedule<'_> {
         label: &'static str,
         q: usize,
     ) {
-        let (gi, ge) = self.allgather_ps(
-            stats.local_tokens as u64 * 4,
-            self.xcfg.hierarchical_for(self.gpus),
-            q,
-        );
+        // With an index codec each rank publishes its encoded frame;
+        // pricing uses the synchronized mean frame (`index_enc_bytes`
+        // is the Σ over ranks, identical everywhere), scaled in exact
+        // integer math so identity stays bit-for-bit the legacy price.
+        let raw = stats.local_tokens as u64 * 4;
+        let bytes = Self::scaled(raw, stats.index_enc_bytes, raw * self.gpus as u64);
+        let (mut gi, ge) = self.allgather_ps(bytes, self.xcfg.hierarchical_for(self.gpus), q);
+        if let Some(c) = self.index_codec {
+            // One encode over the own frame + G decodes of gathered
+            // frames — (G+1)·K·4 raw bytes through the codec kernel.
+            gi += secs_to_ps(
+                self.cost
+                    .codec_time((self.gpus as u64 + 1) * raw, c.throughput_bps()),
+            );
+        }
         ops.push(CommOp {
             label,
             bucket: 0,
@@ -710,13 +771,20 @@ impl StepSchedule<'_> {
     ) -> u64 {
         let (gather_label, reduce_label) = labels;
         if self.xcfg.unique {
-            // Ug×D ALLREDUCE gradient buckets.
+            // Ug×D ALLREDUCE gradient buckets, scaled by the exchange's
+            // measured enc/raw codec ratio (1 exactly when no codec).
             let n = stats.unique_global * dim;
             let per = schedule::bucket_elems(n, self.elem, self.bucket_bytes);
             let (mut start, mut bucket) = (0usize, 0u32);
             loop {
                 let end = (start + per).min(n);
-                let (ai, ae) = self.allreduce_ps(end - start, q);
+                let (ai, ae) = self.allreduce_ps(
+                    end - start,
+                    stats.reduce_enc_bytes,
+                    stats.reduce_raw_bytes,
+                    self.grad_codec,
+                    q,
+                );
                 *cum += (end - start) as u64;
                 ops.push(CommOp {
                     label: reduce_label,
@@ -784,7 +852,13 @@ impl StepSchedule<'_> {
         let (mut start, mut bucket) = (0usize, 0u32);
         loop {
             let end = (start + per).min(self.dense_elems);
-            let (ai, ae) = self.allreduce_ps(end - start, q);
+            let (ai, ae) = self.allreduce_ps(
+                end - start,
+                self.dense_enc_bytes,
+                self.dense_raw_bytes,
+                self.grad_codec,
+                q,
+            );
             cum += (end - start) as u64;
             ops.push(CommOp {
                 label: "dense_allreduce",
@@ -849,7 +923,17 @@ fn run_rank(
         compression: cfg.method.compression,
         gpus_per_node: if cfg.comm.hierarchical { gpn } else { 0 },
         bucket_bytes: cfg.comm.bucket_bytes,
+        codec: cfg.comm.codec,
     };
+    // Codec resolution mirrors the exchange layer: the gradient codec
+    // only frames raw-f32 payloads (an FP16 wire keeps its own format),
+    // the index codec always applies to the unique path's u32 vectors.
+    let grad_codec = if cfg.method.compression.is_none() {
+        cfg.comm.codec.grad_codec()
+    } else {
+        None
+    };
+    let index_codec = cfg.comm.codec.index_codec();
     let hw_gpus_per_node = cost.hardware().gpus_per_node;
     // LR scaling stays a property of the hardware preset, not of the
     // topology override — topology must never change results.
@@ -1029,24 +1113,52 @@ fn run_rank(
             // sum of per-bucket shares matches the traffic recorder
             // even when a bucket's length does not divide by g.
             let mut dense_bytes = 0u64;
+            let mut dense_enc_bytes = 0u64;
             let mut bstart = 0usize;
             loop {
                 let bend = (bstart + per).min(n_dense);
-                dense_bytes += if hier_dense {
-                    simgpu::hierarchical_allreduce_send_bytes(bend - bstart, g, gpn, r, elem)
-                        .total()
-                } else {
-                    simgpu::ring_allreduce_send_bytes(bend - bstart, g, r, elem)
-                };
                 let slice = &mut dense[bstart..bend];
-                match cfg.method.compression {
-                    Some(scale) if hier_dense => {
+                match (cfg.method.compression, grad_codec) {
+                    (Some(scale), _) if hier_dense => {
                         rank.all_reduce_sum_f16_hierarchical(slice, scale, gpn)?
                     }
-                    Some(scale) => rank.all_reduce_sum_f16(slice, scale)?,
-                    None if hier_dense => rank.all_reduce_sum_hierarchical(slice, gpn)?,
-                    None => rank.all_reduce_sum(slice)?,
+                    (Some(scale), _) => rank.all_reduce_sum_f16(slice, scale)?,
+                    (None, Some(c)) if hier_dense => {
+                        rank.all_reduce_sum_hierarchical_codec(slice, c, gpn)?
+                    }
+                    (None, Some(c)) => rank.all_reduce_sum_codec(slice, c)?,
+                    (None, None) if hier_dense => rank.all_reduce_sum_hierarchical(slice, gpn)?,
+                    (None, None) => rank.all_reduce_sum(slice)?,
                 }
+                // Analytic bytes come after the collective: the codec
+                // arms price each chunk at its encoded length on the
+                // *reduced* (summed, pre-average) payload — exactly the
+                // steady-state re-encode model the recorder charged.
+                let reduced = &dense[bstart..bend];
+                dense_bytes += match grad_codec {
+                    Some(c) => {
+                        let nb = reduced.len();
+                        let chunk_bytes = |parts: usize, chunk: usize| {
+                            c.encoded_len_f32(&reduced[simgpu::chunk_range(nb, parts, chunk)])
+                                as u64
+                        };
+                        if hier_dense {
+                            simgpu::hierarchical_allreduce_send_bytes_parts(g, gpn, r, chunk_bytes)
+                                .total()
+                        } else {
+                            simgpu::ring_allreduce_send_bytes_parts(g, r, chunk_bytes)
+                        }
+                    }
+                    None if hier_dense => {
+                        simgpu::hierarchical_allreduce_send_bytes(bend - bstart, g, gpn, r, elem)
+                            .total()
+                    }
+                    None => simgpu::ring_allreduce_send_bytes(bend - bstart, g, r, elem),
+                };
+                dense_enc_bytes += match grad_codec {
+                    Some(c) => c.encoded_len_f32(reduced),
+                    None => (bend - bstart) as u64 * elem,
+                };
                 bstart = bend;
                 if bstart >= n_dense {
                     break;
@@ -1145,6 +1257,10 @@ fn run_rank(
                 overlap: cfg.comm.overlap,
                 bucket_bytes: cfg.comm.bucket_bytes,
                 elem,
+                grad_codec,
+                index_codec,
+                dense_raw_bytes: n_dense as u64 * elem,
+                dense_enc_bytes,
                 compute_ps,
                 dense_elems: n_dense,
                 in_stats,

@@ -55,6 +55,7 @@
 //! permanent: a poisoned group cannot be revived, matching the MPI
 //! convention that a communicator with a dead member is unusable.
 
+use crate::codec::WireCodec;
 use crate::pool::RunGate;
 use crate::traffic::{Tier, TierBytes, TrafficRecorder, TrafficSnapshot};
 use std::fmt;
@@ -276,6 +277,9 @@ struct GroupCore {
     gather_f32: Vec<Mutex<Vec<f32>>>,
     gather_u16: Vec<Mutex<Vec<u16>>>,
     gather_f64: Vec<Mutex<Vec<f64>>>,
+    /// Sender-indexed byte mailboxes for codec-framed collectives:
+    /// `(element_count, encoded_bytes)` per sender.
+    gather_bytes: Vec<Mutex<(usize, Vec<u8>)>>,
     /// Reduction result written by the rendezvous leader, read by all.
     reduce_f32: Mutex<Vec<f32>>,
     /// Optional bounded run pool: ranks release their run slot while
@@ -348,6 +352,7 @@ impl CommGroup {
             gather_f32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_u16: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_f64: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
+            gather_bytes: (0..world).map(|_| Mutex::new((0, Vec::new()))).collect(),
             reduce_f32: Mutex::new(Vec::new()),
             gate,
             traffic: TrafficRecorder::new(),
@@ -372,7 +377,10 @@ pub struct Rank {
 }
 
 /// Chunk boundaries for the ring algorithm: `G` nearly-equal ranges.
-fn chunk_range(n: usize, world: usize, chunk: usize) -> std::ops::Range<usize> {
+/// Public so analytic wire accounting (and its tests) can price
+/// per-chunk codec-encoded lengths over the exact same partition the
+/// collectives use.
+pub fn chunk_range(n: usize, world: usize, chunk: usize) -> std::ops::Range<usize> {
     let lo = chunk * n / world;
     let hi = (chunk + 1) * n / world;
     lo..hi
@@ -384,18 +392,37 @@ fn chunk_range(n: usize, world: usize, chunk: usize) -> std::ops::Range<usize> {
 /// wire accounting can match the [`TrafficRecorder`] to the byte even
 /// when `n` does not divide evenly by `world`.
 pub fn ring_allreduce_send_bytes(n: usize, world: usize, rank: usize, elem_bytes: u64) -> u64 {
+    ring_allreduce_send_bytes_parts(world, rank, |parts, c| {
+        chunk_range(n, parts, c).len() as u64 * elem_bytes
+    })
+}
+
+/// Closure-parameterised [`ring_allreduce_send_bytes`]: iterates the
+/// identical chunk schedule but prices each transmitted chunk through
+/// `chunk_bytes(parts, chunk)` — the wire bytes of chunk `chunk` of the
+/// `parts`-way partition of the payload. With the raw closure
+/// `|parts, c| chunk_range(n, parts, c).len() as u64 * elem_bytes` this
+/// reproduces the identity accounting exactly; wire codecs substitute
+/// the encoded length of each chunk of the *reduced* payload (the
+/// steady-state re-encode model — see `codec`), which is identical on
+/// every rank, so analytic == recorded still holds per tier.
+pub fn ring_allreduce_send_bytes_parts<F: Fn(usize, usize) -> u64>(
+    world: usize,
+    rank: usize,
+    chunk_bytes: F,
+) -> u64 {
     if world <= 1 {
         return 0;
     }
     let g = world;
     let r = rank;
-    let mut elems = 0u64;
+    let mut bytes = 0u64;
     for s in 0..g - 1 {
         // Reduce-scatter send at step s, then all-gather send at step s.
-        elems += chunk_range(n, g, (r + g - s) % g).len() as u64;
-        elems += chunk_range(n, g, (r + 1 + g - s) % g).len() as u64;
+        bytes += chunk_bytes(g, (r + g - s) % g);
+        bytes += chunk_bytes(g, (r + 1 + g - s) % g);
     }
-    elems * elem_bytes
+    bytes
 }
 
 /// Elements `rank` sends during the reduce-scatter half of the ring
@@ -407,6 +434,21 @@ fn ring_reduce_scatter_send_elems(n: usize, world: usize, rank: usize) -> u64 {
     }
     (0..world - 1)
         .map(|s| chunk_range(n, world, (rank + world - s) % world).len() as u64)
+        .sum()
+}
+
+/// Closure-parameterised reduce-scatter half of the ring schedule (see
+/// [`ring_allreduce_send_bytes_parts`] for the closure contract).
+fn ring_reduce_scatter_send_bytes_parts<F: Fn(usize, usize) -> u64>(
+    world: usize,
+    rank: usize,
+    chunk_bytes: F,
+) -> u64 {
+    if world <= 1 {
+        return 0;
+    }
+    (0..world - 1)
+        .map(|s| chunk_bytes(world, (rank + world - s) % world))
         .sum()
 }
 
@@ -478,6 +520,23 @@ pub fn hierarchical_allreduce_send_bytes(
     rank: usize,
     elem_bytes: u64,
 ) -> TierBytes {
+    hierarchical_allreduce_send_bytes_parts(world, gpus_per_node, rank, |parts, c| {
+        chunk_range(n, parts, c).len() as u64 * elem_bytes
+    })
+}
+
+/// Closure-parameterised [`hierarchical_allreduce_send_bytes`]: the
+/// identical four-phase schedule, pricing every transmitted chunk
+/// through `chunk_bytes(parts, chunk)` — the wire bytes of chunk
+/// `chunk` of the `parts`-way partition of the payload (phase 4's full
+/// payload is chunk 0 of the 1-way partition). See
+/// [`ring_allreduce_send_bytes_parts`] for the closure contract.
+pub fn hierarchical_allreduce_send_bytes_parts<F: Fn(usize, usize) -> u64>(
+    world: usize,
+    gpus_per_node: usize,
+    rank: usize,
+    chunk_bytes: F,
+) -> TierBytes {
     assert!(
         gpus_per_node >= 1,
         "topology needs at least one GPU per node"
@@ -487,7 +546,7 @@ pub fn hierarchical_allreduce_send_bytes(
     }
     if world <= gpus_per_node {
         return TierBytes {
-            intra: ring_allreduce_send_bytes(n, world, rank, elem_bytes),
+            intra: ring_allreduce_send_bytes_parts(world, rank, chunk_bytes),
             inter: 0,
         };
     }
@@ -497,24 +556,21 @@ pub fn hierarchical_allreduce_send_bytes(
     let j = rank - leader;
     let n_nodes = world.div_ceil(gpus_per_node);
     // Phase 1: intra-node ring reduce-scatter over m members.
-    let mut intra_elems = ring_reduce_scatter_send_elems(n, m, j);
+    let mut intra = ring_reduce_scatter_send_bytes_parts(m, j, &chunk_bytes);
     if rank != leader {
         // Phase 2: hand the owned chunk to the leader.
-        intra_elems += chunk_range(n, m, (j + 1) % m).len() as u64;
+        intra += chunk_bytes(m, (j + 1) % m);
     } else {
         // Phase 4: broadcast the result to the other members.
-        intra_elems += (n as u64) * (m as u64 - 1);
+        intra += chunk_bytes(1, 0) * (m as u64 - 1);
     }
     // Phase 3: leaders-only flat ring across nodes.
     let inter = if rank == leader {
-        ring_allreduce_send_bytes(n, n_nodes, node, elem_bytes)
+        ring_allreduce_send_bytes_parts(n_nodes, node, &chunk_bytes)
     } else {
         0
     };
-    TierBytes {
-        intra: intra_elems * elem_bytes,
-        inter,
-    }
+    TierBytes { intra, inter }
 }
 
 /// Canonical rendezvous reduction: left-associated elementwise sum in
@@ -1071,6 +1127,192 @@ impl Rank {
             data.extend_from_slice(&slot);
         }
         self.barrier()
+    }
+
+    /// Poisons the group with a codec decode failure and returns the
+    /// typed error — malformed wire bytes must never panic a rank, and
+    /// peers blocked at the next rendezvous must observe the failure.
+    fn codec_abort(&self, codec: &dyn WireCodec, err: crate::codec::CodecError) -> CommError {
+        let e = CommError {
+            failed_rank: self.rank,
+            reason: format!("wire codec {} decode failed: {err}", codec.name()),
+        };
+        self.core.barrier.abort(e.clone());
+        e
+    }
+
+    /// Codec-framed variable-size ALLGATHER of `u32` payloads: each
+    /// rank's contribution crosses the wire in `codec`-encoded form and
+    /// every receiver decodes all senders, so the result is genuinely
+    /// reconstructed from wire bytes (a lossy or broken codec would be
+    /// caught by the bit-identity tests, a malformed payload yields a
+    /// typed [`CommError`]). Wire accounting charges this rank's
+    /// *encoded* payload length to `G−1` peers, split per tier exactly
+    /// like [`Rank::all_gather_u32_into`] — so the charge is
+    /// `peer_exchange_tier_bytes(G, gpus_per_node, rank,
+    /// codec.encoded_len_u32(local))`, never more than the identity
+    /// charge (codecs never expand).
+    pub fn all_gather_u32_codec_into(
+        &self,
+        local: &[u32],
+        codec: &dyn WireCodec,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CommError> {
+        if self.rank == 0 {
+            self.core.traffic.count_allgather_op();
+        }
+        let g = self.core.world;
+        let enc_len = {
+            let mut slot = self.core.gather_bytes[self.rank].lock();
+            slot.0 = local.len();
+            slot.1.clear();
+            codec.encode_u32(local, &mut slot.1);
+            slot.1.len() as u64
+        };
+        self.core
+            .traffic
+            .record_allgather_split(peer_exchange_tier_bytes(
+                g,
+                self.core.gpus_per_node,
+                self.rank,
+                enc_len,
+            ));
+        self.barrier()?;
+        out.clear();
+        for s in 0..g {
+            let slot = self.core.gather_bytes[s].lock();
+            if let Err(e) = codec.decode_u32(&slot.1, slot.0, out) {
+                drop(slot);
+                return Err(self.codec_abort(codec, e));
+            }
+        }
+        self.barrier()
+    }
+
+    /// ALLREDUCE (sum) with a lossless wire codec: the reduction itself
+    /// is the canonical ascending-rank sum of [`Rank::all_reduce_sum`]
+    /// (bit-identical results under every wire schedule), and the
+    /// distributed result is then passed chunk-by-chunk through a real
+    /// `codec` encode→decode round-trip — modelling the all-gather phase
+    /// delivering encoded chunks, so a codec that is not bit-exact
+    /// visibly corrupts training instead of silently compressing.
+    ///
+    /// Wire accounting charges the **steady-state re-encode model**:
+    /// every chunk transmission of the flat ring schedule is priced at
+    /// the encoded length of the *reduced* chunk, which is identical on
+    /// every rank — so the charge equals
+    /// [`ring_allreduce_send_bytes_parts`] over
+    /// `codec.encoded_len_f32(&data[chunk])` and analytic == recorded
+    /// holds to the byte.
+    pub fn all_reduce_sum_codec(
+        &self,
+        data: &mut [f32],
+        codec: &dyn WireCodec,
+    ) -> Result<(), CommError> {
+        let g = self.core.world;
+        if self.rank == 0 {
+            self.core.traffic.count_allreduce_op();
+        }
+        if g == 1 {
+            return Ok(());
+        }
+        let n = data.len();
+        let r = self.rank;
+        {
+            let mut slot = self.core.gather_f32[r].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f32(core))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
+        self.codec_roundtrip_chunks(data, codec)?;
+        self.core.traffic.record_allreduce_tier(
+            ring_send_tier(g, self.core.gpus_per_node, r),
+            ring_allreduce_send_bytes_parts(g, r, |parts, c| {
+                codec.encoded_len_f32(&data[chunk_range(n, parts, c)])
+            }),
+        );
+        Ok(())
+    }
+
+    /// Hierarchical two-tier ALLREDUCE with a lossless wire codec: the
+    /// §V-C schedule of [`Rank::all_reduce_sum_hierarchical`], priced
+    /// per tier at encoded chunk lengths
+    /// ([`hierarchical_allreduce_send_bytes_parts`] over
+    /// `codec.encoded_len_f32`), with the same reduced-payload
+    /// encode→decode round-trip as [`Rank::all_reduce_sum_codec`] — so
+    /// flat and hierarchical stay bit-identical and analytic == recorded
+    /// holds per tier. Falls back to the flat codec ring when the group
+    /// fits in one node; `gpus_per_node == 0` yields the recoverable
+    /// typed [`CommError`] of the identity variants.
+    pub fn all_reduce_sum_hierarchical_codec(
+        &self,
+        data: &mut [f32],
+        codec: &dyn WireCodec,
+        gpus_per_node: usize,
+    ) -> Result<(), CommError> {
+        if gpus_per_node == 0 {
+            return Err(CommError {
+                failed_rank: self.rank,
+                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
+            });
+        }
+        let g = self.core.world;
+        if g <= gpus_per_node {
+            return self.all_reduce_sum_codec(data, codec);
+        }
+        if self.rank == 0 {
+            self.core.traffic.count_allreduce_op();
+        }
+        let n = data.len();
+        let r = self.rank;
+        {
+            let mut slot = self.core.gather_f32[r].lock();
+            slot.clear();
+            slot.extend_from_slice(data);
+        }
+        let core = &self.core;
+        self.sync_leader(|| leader_sum_f32(core))?;
+        data.copy_from_slice(&self.core.reduce_f32.lock());
+        // The delivered payload round-trips through the codec on the
+        // flat chunk partition: losslessness (not chunk boundaries) is
+        // what keeps flat and hierarchical schedules bit-identical.
+        self.codec_roundtrip_chunks(data, codec)?;
+        self.core
+            .traffic
+            .record_allreduce_split(hierarchical_allreduce_send_bytes_parts(
+                g,
+                gpus_per_node,
+                r,
+                |parts, c| codec.encoded_len_f32(&data[chunk_range(n, parts, c)]),
+            ));
+        Ok(())
+    }
+
+    /// Passes every flat ring chunk of `data` through a real
+    /// encode→decode round-trip in place. Lossless codecs make this a
+    /// bit-exact no-op; anything else corrupts the payload visibly.
+    fn codec_roundtrip_chunks(
+        &self,
+        data: &mut [f32],
+        codec: &dyn WireCodec,
+    ) -> Result<(), CommError> {
+        let g = self.core.world;
+        let n = data.len();
+        let mut wire = Vec::new();
+        let mut decoded: Vec<f32> = Vec::new();
+        for c in 0..g {
+            let range = chunk_range(n, g, c);
+            wire.clear();
+            codec.encode_f32(&data[range.clone()], &mut wire);
+            decoded.clear();
+            if let Err(e) = codec.decode_f32(&wire, range.len(), &mut decoded) {
+                return Err(self.codec_abort(codec, e));
+            }
+            data[range].copy_from_slice(&decoded);
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 //! constants come from Table II.
 
 use crate::hw::HardwareConfig;
+use crate::traffic::TierBytes;
 
 /// Cost model bound to one hardware preset and one utilisation figure.
 #[derive(Debug, Clone)]
@@ -68,14 +69,25 @@ impl CostModel {
         rank: usize,
     ) -> f64 {
         assert!(gpus >= 1 && rank < gpus);
+        let bytes = crate::comm::ring_allreduce_send_bytes(n_elems, gpus, rank, elem_bytes);
+        self.allreduce_rank_time_bytes(bytes, gpus)
+    }
+
+    /// Seconds one rank spends in a ring ALLREDUCE given its exact
+    /// `send_bytes` (the `2(G−1)·α` latency term is hop-count only, so
+    /// it is unchanged by wire compression): the pricing primitive the
+    /// per-rank variants delegate to, and the entry point for codec-
+    /// compressed volumes, which substitute encoded bytes for raw ones
+    /// without touching the hop count.
+    pub fn allreduce_rank_time_bytes(&self, send_bytes: u64, gpus: usize) -> f64 {
+        assert!(gpus >= 1);
         if gpus == 1 {
             return 0.0;
         }
         let g = gpus as f64;
         let alpha = self.hw.ring_latency(gpus);
         let beta = self.hw.ring_bandwidth(gpus);
-        let bytes = crate::comm::ring_allreduce_send_bytes(n_elems, gpus, rank, elem_bytes);
-        2.0 * (g - 1.0) * alpha + bytes as f64 / beta
+        2.0 * (g - 1.0) * alpha + send_bytes as f64 / beta
     }
 
     /// Per-tier seconds *rank `rank`* spends in a hierarchical two-tier
@@ -108,19 +120,6 @@ impl CostModel {
             gpus_per_node >= 1,
             "topology needs at least one GPU per node"
         );
-        if gpus == 1 {
-            return (0.0, 0.0);
-        }
-        if gpus <= gpus_per_node {
-            return (
-                self.allreduce_rank_time(n_elems, elem_bytes, gpus, rank),
-                0.0,
-            );
-        }
-        let node = rank / gpus_per_node;
-        let leader = node * gpus_per_node;
-        let m = gpus_per_node.min(gpus - leader);
-        let n_nodes = gpus.div_ceil(gpus_per_node);
         let tb = crate::comm::hierarchical_allreduce_send_bytes(
             n_elems,
             gpus,
@@ -128,6 +127,36 @@ impl CostModel {
             rank,
             elem_bytes,
         );
+        self.hierarchical_allreduce_rank_time_bytes(tb, gpus, gpus_per_node, rank)
+    }
+
+    /// Per-tier seconds for the hierarchical ALLREDUCE given the rank's
+    /// exact per-tier wire bytes (hop counts depend only on topology, so
+    /// they are unchanged by wire compression): the pricing primitive
+    /// [`CostModel::hierarchical_allreduce_rank_time`] delegates to, and
+    /// the entry point for codec-compressed per-tier volumes.
+    pub fn hierarchical_allreduce_rank_time_bytes(
+        &self,
+        tb: TierBytes,
+        gpus: usize,
+        gpus_per_node: usize,
+        rank: usize,
+    ) -> (f64, f64) {
+        assert!(gpus >= 1 && rank < gpus);
+        assert!(
+            gpus_per_node >= 1,
+            "topology needs at least one GPU per node"
+        );
+        if gpus == 1 {
+            return (0.0, 0.0);
+        }
+        if gpus <= gpus_per_node {
+            return (self.allreduce_rank_time_bytes(tb.total(), gpus), 0.0);
+        }
+        let node = rank / gpus_per_node;
+        let leader = node * gpus_per_node;
+        let m = gpus_per_node.min(gpus - leader);
+        let n_nodes = gpus.div_ceil(gpus_per_node);
         // Intra hops: m−1 reduce-scatter steps, plus one hand-off
         // (non-leader) or one broadcast round (leader of a >1 node).
         let mut intra_hops = (m - 1) as f64;
@@ -210,6 +239,18 @@ impl CostModel {
     /// Modeled at HBM stream rate ~300 GB/s for the Titan X generation.
     pub fn memory_touch_time(&self, bytes: u64) -> f64 {
         bytes as f64 / 300.0e9
+    }
+
+    /// Seconds a wire codec spends processing `raw_bytes` of payload at
+    /// `throughput_bps` raw bytes per second (see
+    /// [`crate::codec::WireCodec::throughput_bps`]) — the compute side
+    /// of the volume-vs-compute
+    /// tradeoff. Codecs run on-node before the NIC, so callers charge
+    /// this to the intra tier. The identity codec's infinite throughput
+    /// yields exactly zero.
+    pub fn codec_time(&self, raw_bytes: u64, throughput_bps: f64) -> f64 {
+        assert!(throughput_bps > 0.0, "codec throughput must be positive");
+        raw_bytes as f64 / throughput_bps
     }
 
     /// Achieved cluster FLOP/s over `gpus` GPUs.

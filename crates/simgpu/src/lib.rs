@@ -40,6 +40,7 @@
 //! volume is measured, not assumed — and split per interconnect
 //! [`traffic::Tier`] (PCIe within a node, Infiniband between nodes).
 
+pub mod codec;
 pub mod comm;
 pub mod cost;
 pub mod device;
@@ -50,9 +51,14 @@ pub mod timing;
 pub mod trace;
 pub mod traffic;
 
+pub use codec::{
+    delta_varint_len, exp_pack_len, CodecError, DeltaVarintCodec, ExpPackCodec, F16ScaledCodec,
+    IdentityCodec, WireCodec, WireCodecId,
+};
 pub use comm::{
-    f16_bits_to_f32, f32_to_f16_bits, hierarchical_allreduce_send_bytes, peer_exchange_tier_bytes,
-    ring_allreduce_send_bytes, ring_send_tier, AbortOnDrop, CommError, CommGroup, Rank,
+    chunk_range, f16_bits_to_f32, f32_to_f16_bits, hierarchical_allreduce_send_bytes,
+    hierarchical_allreduce_send_bytes_parts, peer_exchange_tier_bytes, ring_allreduce_send_bytes,
+    ring_allreduce_send_bytes_parts, ring_send_tier, AbortOnDrop, CommError, CommGroup, Rank,
 };
 pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};

@@ -190,3 +190,70 @@ fn steps_jsonl_is_byte_stable() {
     );
     assert_eq!(report.steps_jsonl(), expected);
 }
+
+/// Codec-framed runs flow *compressed* sizes through the exporters: the
+/// `wire_bytes`/`dense_bytes` a codec run reports are the encoded
+/// counts, and the codec bookkeeping fields (`reduce_raw_bytes`,
+/// `reduce_enc_bytes`, `index_enc_bytes`) are pricing inputs only —
+/// they must NOT leak into the JSONL schema, so downstream jq pipelines
+/// written against the identity format keep parsing codec runs
+/// unchanged.
+#[test]
+fn steps_jsonl_schema_is_codec_agnostic_and_carries_compressed_bytes() {
+    let attr = TimeAttribution {
+        compute_ps: 700,
+        wire_intra_ps: 150,
+        wire_inter_ps: 50,
+        barrier_wait_ps: 80,
+        skew_ps: 0,
+        self_delay_ps: 0,
+        overlapped_ps: 0,
+    };
+    // A codec step: wire_bytes already compressed (enc < raw), with the
+    // raw/enc bookkeeping populated the way the unique path fills it.
+    let coded = StepMetrics {
+        step: 0,
+        train_loss: 5.25,
+        sim_time_ps: attr.total_ps(),
+        sim_time_s: attr.total_ps() as f64 * 1e-12,
+        attribution: attr,
+        input_exchange: ExchangeStats {
+            wire_bytes: 512, // encoded: below the 960-byte raw flow
+            unique_global: 37,
+            reduce_raw_bytes: 1_480,
+            reduce_enc_bytes: 1_110,
+            index_enc_bytes: 288,
+            ..Default::default()
+        },
+        output_exchange: None,
+        dense_bytes: 3_072, // encoded dense ALLREDUCE charge
+    };
+    // The identical step as an identity run would report it (enc==raw,
+    // wire_bytes whatever the identity schedule charges).
+    let identity = StepMetrics {
+        input_exchange: ExchangeStats {
+            wire_bytes: 512,
+            unique_global: 37,
+            reduce_raw_bytes: 1_480,
+            reduce_enc_bytes: 1_480,
+            index_enc_bytes: 1_440,
+            ..Default::default()
+        },
+        ..coded
+    };
+    let mut a = TrainReport::default();
+    a.steps.push(coded);
+    let mut b = TrainReport::default();
+    b.steps.push(identity);
+    let expected = concat!(
+        "{\"step\":0,\"train_loss\":5.25,\"sim_time_ps\":980,\"compute_ps\":700,",
+        "\"wire_ps\":200,\"wire_intra_ps\":150,\"wire_inter_ps\":50,",
+        "\"barrier_wait_ps\":80,\"skew_ps\":0,\"self_delay_ps\":0,\"overlapped_ps\":0,",
+        "\"dense_bytes\":3072,\"input_wire_bytes\":512,\"output_wire_bytes\":0,",
+        "\"unique_global\":37}\n",
+    );
+    // Same schema, same bytes: the compressed wire counts are what the
+    // line carries, the codec bookkeeping never appears.
+    assert_eq!(a.steps_jsonl(), expected);
+    assert_eq!(a.steps_jsonl(), b.steps_jsonl());
+}

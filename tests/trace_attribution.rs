@@ -92,6 +92,60 @@ fn attribution_reconciles_exactly_at_world_2_and_4() {
     }
 }
 
+/// With a lossless codec enabled, trace events carry the *compressed*
+/// byte counts: every rank's traced bytes still equal the traffic
+/// recorder's ledger exactly, that total is strictly below the identity
+/// run's, and `TimeAttribution` still sums to `sim_time_ps` with zero
+/// tolerance — the codec's encode/decode picoseconds fold into the wire
+/// buckets without breaking the exact decomposition.
+#[test]
+fn codec_traces_compressed_bytes_and_attribution_still_exact() {
+    let gpus = 4usize;
+    let identity = run(&traced_cfg(gpus), &FaultPlan::none());
+    let identity_total = identity[0].traffic.total_bytes();
+    for codec in simgpu::WireCodecId::lossless_ladder() {
+        let mut cfg = traced_cfg(gpus);
+        cfg.comm = cfg.comm.with_codec(codec);
+        let reps = run(&cfg, &FaultPlan::none());
+        let mut traced_bytes = 0u64;
+        for (r, rep) in reps.iter().enumerate() {
+            for (s, step) in rep.steps.iter().enumerate() {
+                assert_eq!(
+                    step.attribution.total_ps(),
+                    step.sim_time_ps,
+                    "{}: rank {r} step {s} buckets do not sum to sim_time_ps",
+                    codec.name()
+                );
+                assert_eq!(
+                    step.sim_time_ps,
+                    reps[0].steps[s].sim_time_ps,
+                    "{}: rank {r} step {s} step time not synchronised",
+                    codec.name()
+                );
+            }
+            let log = rep.trace.as_ref().expect("tracing was on");
+            assert_eq!(log.dropped, 0);
+            traced_bytes += log.total_bytes();
+        }
+        // Traced span bytes are the recorder's ledger — compressed
+        // sizes flow through both, so they still agree to the byte.
+        assert_eq!(
+            traced_bytes,
+            reps[0].traffic.total_bytes(),
+            "{}: traced bytes != traffic recorder total",
+            codec.name()
+        );
+        // And compression is visible end-to-end: strictly fewer bytes
+        // than identity (every ladder member carries the index codec or
+        // the gradient codec over these raw-f32 payloads).
+        assert!(
+            traced_bytes < identity_total,
+            "{}: traced {traced_bytes} not below identity {identity_total}",
+            codec.name()
+        );
+    }
+}
+
 /// With rank 1 straggling 40 ms/step (≫ the tens-of-µs modelled work),
 /// the skew bucket is nonzero *only* on the victims, the self-delay
 /// bucket only on the straggler, and the wall-clock trace shows the

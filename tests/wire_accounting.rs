@@ -174,6 +174,112 @@ fn dense_allreduce_analytic_matches_recorded_exactly() {
     }
 }
 
+/// Codec-framed exchanges: the analytic `wire_bytes` must keep matching
+/// the recorder byte-for-byte for every lossless codec, on flat and
+/// two-tier schedules, at awkward sizes where `Ug·D` is ragged by `G`.
+#[test]
+fn codec_analytic_wire_bytes_match_measured_traffic_exactly() {
+    for world in [2usize, 3, 5, 8] {
+        for (tokens, dim) in [(13usize, 7usize), (24, 5), (1, 3)] {
+            for gpn in [0usize, 2] {
+                for codec in simgpu::WireCodecId::lossless_ladder() {
+                    let cfg = ExchangeConfig {
+                        unique: true,
+                        gpus_per_node: gpn,
+                        codec,
+                        ..ExchangeConfig::baseline()
+                    };
+                    let (stats, traffic) = measure(world, tokens, dim, cfg);
+                    let analytic: u64 = stats.iter().map(|s| s.wire_bytes).sum();
+                    let measured = traffic.allgather_bytes + traffic.allreduce_bytes;
+                    assert_eq!(
+                        analytic,
+                        measured,
+                        "world {world} K {tokens} D {dim} gpn {gpn} codec {}: \
+                         analytic {analytic} vs measured {measured}",
+                        codec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The delta+varint index path priced from first principles: encoding
+/// each rank's index vector with the codec directly and charging
+/// `enc·(G−1)` per rank must predict the recorder's ALLGATHER total
+/// exactly — at a `G`-divisible token count and a ragged one.
+#[test]
+fn delta_varint_index_prediction_matches_recorder() {
+    use simgpu::WireCodec;
+    for world in [4usize, 5] {
+        for tokens in [16usize, 13] {
+            let cfg = ExchangeConfig {
+                unique: true,
+                codec: simgpu::WireCodecId::LosslessIndex,
+                ..ExchangeConfig::baseline()
+            };
+            let (stats, traffic) = measure(world, tokens, 6, cfg);
+            // Reconstruct each rank's index vector exactly as `measure`
+            // drew it and encode it with the codec under test.
+            let predicted: u64 = (0..world)
+                .map(|r| {
+                    let mut rng = StdRng::seed_from_u64(500 + r as u64);
+                    let indices: Vec<u32> = (0..tokens)
+                        .map(|_| rng.gen_range(0..VOCAB as u32))
+                        .collect();
+                    simgpu::DeltaVarintCodec.encoded_len_u32(&indices) * (world as u64 - 1)
+                })
+                .sum();
+            assert_eq!(
+                predicted, traffic.allgather_bytes,
+                "world {world} K {tokens}: predicted {predicted} vs recorded {}",
+                traffic.allgather_bytes
+            );
+            // The gradient path ran identity, so the analytic total
+            // still reconciles and the ALLREDUCE term is untouched.
+            let analytic: u64 = stats.iter().map(|s| s.wire_bytes).sum();
+            assert_eq!(analytic, traffic.allgather_bytes + traffic.allreduce_bytes);
+            // Strictly smaller than the raw index gather at these
+            // dense vocab-bounded draws.
+            assert!(
+                traffic.allgather_bytes < (tokens as u64) * 4 * (world as u64 - 1) * world as u64,
+                "world {world} K {tokens}: index frames did not compress"
+            );
+        }
+    }
+}
+
+/// Never-expand, per collective class: with any lossless codec the
+/// recorder's ALLGATHER and ALLREDUCE totals never exceed the identity
+/// run's — on flat and hierarchical schedules alike.
+#[test]
+fn codec_recorded_bytes_never_exceed_identity() {
+    for world in [3usize, 8] {
+        for gpn in [0usize, 2] {
+            let base = ExchangeConfig {
+                unique: true,
+                gpus_per_node: gpn,
+                ..ExchangeConfig::baseline()
+            };
+            let (_, identity) = measure(world, 17, 5, base);
+            for codec in simgpu::WireCodecId::lossless_ladder() {
+                let (_, coded) = measure(world, 17, 5, ExchangeConfig { codec, ..base });
+                assert!(
+                    coded.allgather_bytes <= identity.allgather_bytes,
+                    "world {world} gpn {gpn} {}: gather expanded",
+                    codec.name()
+                );
+                assert!(
+                    coded.allreduce_bytes <= identity.allreduce_bytes,
+                    "world {world} gpn {gpn} {}: allreduce expanded",
+                    codec.name()
+                );
+            }
+        }
+    }
+}
+
 /// End-to-end cross-check: `TrainReport::mean_step_bytes` (built from
 /// per-step `dense_bytes` + exchange `wire_bytes`) must reconcile with
 /// the group-global traffic recorder *exactly*. G = 2 keeps every
