@@ -27,7 +27,7 @@ use tensor::Matrix;
 use zipf::ZipfMandelbrot;
 use zipf_lm::{
     exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
-    ExchangeScratch, PhaseTimings,
+    ExchangeScratch, PhaseTimings, StepObserver, StepSample, TimeAttribution,
 };
 
 // Per-call shape (kept small: each iteration pays thread spawns).
@@ -178,6 +178,36 @@ fn pooled_step(
 
 fn seed_step(rank: &Rank, grad: &SparseGrad, table: &mut Embedding, _: &mut ExchangeScratch) {
     seed_unique_exchange(rank, grad, table, 0.1);
+}
+
+/// The pooled step plus everything the trainer adds for fleet metrics
+/// when they are *disabled*: build the per-step [`StepSample`] from the
+/// exchange stats and hand it to a [`StepObserver::off()`]. This is the
+/// exact off-path shape `run_rank` executes per step under
+/// `MetricsConfig::off()`.
+fn metrics_off_step(
+    rank: &Rank,
+    grad: &SparseGrad,
+    table: &mut Embedding,
+    scratch: &mut ExchangeScratch,
+) {
+    let mut observer = StepObserver::off();
+    let stats = exchange_and_apply_with(rank, grad, table, 0.1, &ExchangeConfig::unique(), scratch)
+        .unwrap();
+    let attribution = TimeAttribution::default();
+    observer.on_step(&StepSample {
+        step: 0,
+        sim_time_ps: 0,
+        attribution: &attribution,
+        wire_bytes: stats.wire_bytes,
+        unique_global: stats.unique_global as u64,
+        codec_raw_bytes: stats.reduce_raw_bytes,
+        codec_enc_bytes: stats.reduce_enc_bytes,
+        work_ps: &[],
+        delay_ps: &[],
+        barrier_wait_wall_ns: 0,
+    });
+    std::hint::black_box(&observer);
 }
 
 /// The traced entry point with tracing *disabled* (`None` recorder) —
@@ -361,6 +391,41 @@ fn report_trace_overhead(_c: &mut Criterion) {
     );
 }
 
+/// Guard for the fleet-metrics tentpole's zero-overhead-when-off claim:
+/// a step that also drives a disabled [`StepObserver`] (the trainer's
+/// configuration whenever `MetricsConfig::off()`) must stay within
+/// noise of the plain pooled hot path. The disabled observer's
+/// `on_step` is a single `Option` branch; constructing the
+/// [`StepSample`] costs only stack writes. Same interleaved min-of-3
+/// shape and loose 1.30× jitter bound as `report_trace_overhead` — an
+/// accidental histogram observe or allocation on the off path lands
+/// far above it.
+fn report_metrics_overhead(_c: &mut Criterion) {
+    const STEPS: u64 = 30;
+    let mut plain_total = Duration::ZERO;
+    let mut observed_total = Duration::ZERO;
+    for _ in 0..3 {
+        plain_total += steady_state(SS_WORLD, STEPS / 3, pooled_step);
+        observed_total += steady_state(SS_WORLD, STEPS / 3, metrics_off_step);
+    }
+    let ratio = record_guard(
+        "metrics_overhead",
+        plain_total,
+        observed_total,
+        STEPS,
+        "< 1.30",
+    );
+    println!(
+        "exchange_steady/metrics_overhead         plain {:.3} ms/step, metrics-off {:.3} ms/step => {ratio:.2}x (bound < 1.30x)",
+        plain_total.as_secs_f64() * 1e3 / STEPS as f64,
+        observed_total.as_secs_f64() * 1e3 / STEPS as f64,
+    );
+    assert!(
+        ratio < 1.30,
+        "metrics-disabled step is {ratio:.2}x the plain hot path (bound 1.30x)"
+    );
+}
+
 /// Guard for the bounded-pool refactor: with the pool sized ≥ world the
 /// steady-state exchange must be unchanged — slot traffic is a one-time
 /// handoff per rank, never a per-step cost. Interleaved totals like
@@ -438,6 +503,7 @@ criterion_group!(
     report_speedup,
     report_phase_timings,
     report_trace_overhead,
+    report_metrics_overhead,
     report_run_pool_overhead,
     bench_local_reduce,
     persist_guards,

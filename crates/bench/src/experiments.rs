@@ -7,7 +7,8 @@ use zipf::{fit_power_law, heaps_curve_from_sampler, HeapsPoint, PowerLawFit};
 use zipf::{heaps::log_checkpoints, ZipfMandelbrot};
 use zipf_lm::seeding::SeedStrategy;
 use zipf_lm::{
-    CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig, TrainReport,
+    CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+    TrainReport,
 };
 
 /// One dataset's type–token curve and its power-law fit (Figure 1).
@@ -128,6 +129,7 @@ fn accuracy_cfg(quick: bool) -> TrainConfig {
         seed: 42,
         tokens: if quick { 80_000 } else { 240_000 },
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }
@@ -227,6 +229,7 @@ pub fn table5_accuracy(quick: bool) -> Vec<WeakScalingAccuracy> {
                 seed: 1234, // fixed so the validation distribution matches
                 tokens: base_tokens * data_mult,
                 trace: TraceConfig::off(),
+                metrics: MetricsConfig::off(),
                 checkpoint: CheckpointConfig::off(),
                 comm: CommConfig::flat(),
             };
@@ -300,6 +303,7 @@ pub fn weak_scaling(quick: bool) -> Vec<WeakScalingRow> {
                 seed: 1234,
                 tokens,
                 trace: TraceConfig::off(),
+                metrics: MetricsConfig::off(),
                 checkpoint: CheckpointConfig::off(),
                 comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL),
             };
@@ -436,6 +440,7 @@ pub fn overlap_comparison(quick: bool) -> Vec<OverlapRow> {
                 seed: 1234,
                 tokens: 60_000 * g / OVERLAP_WORLDS[0],
                 trace: TraceConfig::off(),
+                metrics: MetricsConfig::off(),
                 checkpoint: CheckpointConfig::off(),
                 comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL),
             };
@@ -564,6 +569,7 @@ pub fn codec_crossover(quick: bool) -> Vec<CodecCrossoverRow> {
             seed: 1234,
             tokens: 60_000 * g.max(48) / 48,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             checkpoint: CheckpointConfig::off(),
             comm: CommConfig::hierarchical_pooled(WEAK_SCALING_POOL),
         };
@@ -670,6 +676,7 @@ pub fn sota_comparison(quick: bool) -> SotaComparison {
         seed: 77,
         tokens: if quick { 60_000 } else { 300_000 },
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };

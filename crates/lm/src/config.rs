@@ -213,6 +213,56 @@ impl Default for TraceConfig {
     }
 }
 
+/// Opt-in fleet metrics (see [`simgpu::metrics`] and [`crate::metrics`]).
+///
+/// Disabled by default. When off, the trainer allocates no registry and
+/// the step loop pays a single branch — the
+/// `exchange_steady/metrics_overhead` bench guards that this stays
+/// within measurement noise of the plain hot path. When on, every rank
+/// feeds per-step histograms (step time, attribution buckets, wire
+/// bytes, barrier waits) into its own [`simgpu::MetricsRegistry`]; the
+/// merged fleet registry and any [`crate::HealthEvent`] findings land
+/// on the final `TrainReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Collect per-rank metrics and attach the merged registry (and a
+    /// `RunSummary`) to the final `TrainReport`.
+    pub enabled: bool,
+    /// Straggler detection threshold in milli-units: a rank is flagged
+    /// when its per-step busy time exceeds `factor/1000 ×` the world
+    /// median for `straggler_window` consecutive steps.
+    pub straggler_factor_milli: u64,
+    /// Consecutive over-threshold steps before a
+    /// `HealthEvent::Straggler` fires.
+    pub straggler_window: u32,
+}
+
+impl MetricsConfig {
+    /// Metrics disabled (the default).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            straggler_factor_milli: 1500,
+            straggler_window: 3,
+        }
+    }
+
+    /// Metrics enabled at the default straggler thresholds (1.5× the
+    /// median busy time for 3 consecutive steps).
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::off()
+        }
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Opt-in periodic checkpointing (see [`crate::checkpoint`]).
 ///
 /// Disabled by default. When off (`every_steps == 0`) the trainer's hot
@@ -383,6 +433,9 @@ pub struct TrainConfig {
     pub tokens: usize,
     /// Per-rank structured tracing (off by default — zero overhead).
     pub trace: TraceConfig,
+    /// Fleet metrics: per-rank registries, step-time histograms and the
+    /// straggler health monitor (off by default — zero overhead).
+    pub metrics: MetricsConfig,
     /// Periodic bit-exact checkpointing (off by default — zero
     /// overhead; required for elastic recovery to restore progress).
     pub checkpoint: CheckpointConfig,
@@ -406,6 +459,7 @@ impl Default for TrainConfig {
             seed: 42,
             tokens: 50_000,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             checkpoint: CheckpointConfig::off(),
             comm: CommConfig::flat(),
         }
@@ -447,6 +501,24 @@ mod tests {
         let on = TraceConfig::on();
         assert!(on.enabled);
         assert_eq!(on.events_per_rank, TraceConfig::off().events_per_rank);
+    }
+
+    #[test]
+    fn metrics_defaults_off() {
+        assert!(!TrainConfig::default().metrics.enabled);
+        assert_eq!(MetricsConfig::default(), MetricsConfig::off());
+        let on = MetricsConfig::on();
+        assert!(on.enabled);
+        assert_eq!(
+            on.straggler_factor_milli,
+            MetricsConfig::off().straggler_factor_milli
+        );
+        assert_eq!(on.straggler_window, MetricsConfig::off().straggler_window);
+        assert!(
+            on.straggler_factor_milli > 1000,
+            "threshold above the median"
+        );
+        assert!(on.straggler_window >= 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use zipf_lm::{TrainConfig, TraceConfig, CheckpointConfig, CommConfig, ModelKind, Method, train};
+//! use zipf_lm::{TrainConfig, TraceConfig, MetricsConfig, CheckpointConfig, CommConfig, ModelKind, Method, train};
 //! use zipf_lm::seeding::SeedStrategy;
 //!
 //! let cfg = TrainConfig {
@@ -40,6 +40,7 @@
 //!     seed: 42,
 //!     tokens: 20_000,
 //!     trace: TraceConfig::off(),
+//!     metrics: MetricsConfig::off(),
 //!     checkpoint: CheckpointConfig::off(),
 //!     comm: CommConfig::flat(),
 //! };
@@ -73,6 +74,19 @@
 //! compute still runs, the hidden comm lands in `overlapped_ps`, and
 //! [`TrainReport::schedule_trace_json`] exports the two streams as
 //! concurrent spans per rank.
+//!
+//! ## Fleet metrics
+//!
+//! Set `metrics: MetricsConfig::on()` and every rank feeds a
+//! [`simgpu::MetricsRegistry`] — counters, gauges and log-bucketed
+//! histograms whose cross-rank merge is *exact* (merged == pooled
+//! samples) — while a [`metrics::HealthMonitor`] watches per-rank busy
+//! time and flags stragglers as typed [`HealthEvent`]s naming the slow
+//! rank. Rank 0's report carries the merged fleet registry; export it
+//! as Prometheus text ([`simgpu::MetricsRegistry::prometheus_text`]) or
+//! as a byte-stable [`RunSummary`] JSON
+//! ([`TrainReport::run_summary`]) — the artifact the `bench-diff`
+//! regression gate compares across runs. See DESIGN.md §13.
 
 pub mod checkpoint;
 pub mod config;
@@ -85,18 +99,24 @@ pub mod seeding;
 pub mod trainer;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
-pub use config::{CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
+pub use config::{
+    CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+};
 pub use elastic::{train_elastic, train_elastic_with_memory, RecoveryPolicy, TrainOutcome};
 pub use exchange::{
     exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
     ExchangeScratch, ExchangeStats, PhaseTimings,
 };
-pub use metrics::{EpochMetrics, RecoveryEvent, StepMetrics, TimeAttribution, TrainReport};
+pub use metrics::{
+    config_fingerprint, EpochMetrics, HealthEvent, HealthMonitor, RecoveryEvent, RunSummary,
+    StepMetrics, StepObserver, StepSample, TimeAttribution, TrainReport, RUN_SUMMARY_SCHEMA,
+};
 pub use schedule::{CommOp, ScheduleOutcome};
 pub use seeding::SeedStrategy;
 pub use simgpu::{
-    chrome_trace_json, sim_trace_json, CommError, FaultPlan, SimSpan, SimStream, SpanKind,
-    TraceEvent, TraceLog, TraceRecorder,
+    chrome_trace_json, chrome_trace_json_with_counters, sim_trace_json, CommError, CounterTrack,
+    FaultPlan, Histogram, MetricsRegistry, SimSpan, SimStream, SpanKind, TraceEvent, TraceLog,
+    TraceRecorder,
 };
 pub use trainer::{
     train, train_checkpointed, train_with_faults, train_with_memory_limit, TrainError,

@@ -43,7 +43,9 @@ use crate::checkpoint::{Checkpoint, CheckpointMetrics, CheckpointStore, Fingerpr
 use crate::config::{DatasetId, ModelKind, TrainConfig};
 use crate::eval::{char_valid_loss, word_valid_loss};
 use crate::exchange::{exchange_and_apply_traced, ExchangeConfig, ExchangeScratch, ExchangeStats};
-use crate::metrics::{EpochMetrics, StepMetrics, TimeAttribution, TrainReport};
+use crate::metrics::{
+    EpochMetrics, HealthEvent, StepMetrics, StepObserver, StepSample, TimeAttribution, TrainReport,
+};
 use crate::schedule::{self, CommOp};
 use corpus::{shard_batches, train_valid_split, BatchSpec, CorpusGenerator, TokenUnit, Vocab};
 use nn::model::SeqBatch;
@@ -328,7 +330,7 @@ fn train_inner(
     });
 
     let peak_mem = devices.iter().map(|d| d.peak()).max().unwrap_or(0);
-    results
+    let mut results: Vec<Result<TrainReport, TrainError>> = results
         .into_iter()
         .map(|res| {
             res.map(|mut out| {
@@ -337,7 +339,33 @@ fn train_inner(
                 out.report
             })
         })
-        .collect()
+        .collect();
+    // Fleet rollup: fold every rank's registry into one (exact — see
+    // `simgpu::metrics`) and collect the rank-local trace-truncation
+    // findings, both onto rank 0's report, so one report answers for
+    // the whole world.
+    if cfg.metrics.enabled {
+        let mut fleet = simgpu::MetricsRegistry::new();
+        let mut truncated: Vec<HealthEvent> = Vec::new();
+        for rep in results.iter().skip(1).flatten() {
+            if let Some(m) = &rep.metrics {
+                fleet.merge(m);
+            }
+            truncated.extend(
+                rep.health
+                    .iter()
+                    .filter(|h| matches!(h, HealthEvent::TraceTruncated { .. }))
+                    .cloned(),
+            );
+        }
+        if let Some(Ok(rep0)) = results.first_mut() {
+            let mut merged = rep0.metrics.clone().unwrap_or_default();
+            merged.merge(&fleet);
+            rep0.fleet_metrics = Some(merged);
+            rep0.health.extend(truncated);
+        }
+    }
+    results
 }
 
 /// Sequential-structure strength of the synthetic corpora: with this
@@ -949,6 +977,14 @@ fn run_rank(
     } else {
         None
     };
+    // Opt-in fleet metrics: a per-rank registry + health monitor behind
+    // one Option (`StepObserver::off()` when disabled — a single branch
+    // per step, guarded by `exchange_steady/metrics_overhead`). Needs
+    // barrier-wait timing like the tracer does.
+    let mut observer = StepObserver::new(g, &cfg.metrics);
+    if observer.enabled() {
+        rank.enable_wait_tracking();
+    }
 
     // Safety net: if this rank unwinds (an `?` below, a panic in the
     // model code) the armed guard poisons the group, so peers error out
@@ -1226,11 +1262,22 @@ fn run_rank(
 
             // Drain the step's accumulated barrier-wait wall-clock into
             // one synthetic contiguous span ending now (individual waits
-            // happened inside the collectives above).
+            // happened inside the collectives above). Drained once and
+            // shared: the tracer gets its span, the metrics observer its
+            // histogram sample.
+            let waited_wall_ns = if recorder.is_some() || observer.enabled() {
+                rank.take_barrier_wait_ns()
+            } else {
+                0
+            };
             if let Some(rec) = recorder.as_mut() {
-                let waited = rank.take_barrier_wait_ns();
                 let end = rec.now_ns();
-                rec.record(SpanKind::BarrierWait, end.saturating_sub(waited), end, 0);
+                rec.record(
+                    SpanKind::BarrierWait,
+                    end.saturating_sub(waited_wall_ns),
+                    end,
+                    0,
+                );
             }
 
             // Simulated step time on the Table II hardware, in integer
@@ -1381,6 +1428,25 @@ fn run_rank(
                 unique_count += 1;
             }
 
+            observer.on_step(&StepSample {
+                step: global_step,
+                sim_time_ps: t_ps,
+                attribution: &attribution,
+                wire_bytes: dense_bytes
+                    + in_stats.wire_bytes
+                    + out_stats.map(|s| s.wire_bytes).unwrap_or(0),
+                unique_global: in_stats.unique_global as u64,
+                codec_raw_bytes: n_dense as u64 * elem
+                    + in_stats.reduce_raw_bytes
+                    + out_stats.map(|s| s.reduce_raw_bytes).unwrap_or(0),
+                codec_enc_bytes: dense_enc_bytes
+                    + in_stats.reduce_enc_bytes
+                    + out_stats.map(|s| s.reduce_enc_bytes).unwrap_or(0),
+                work_ps: &work_ps,
+                delay_ps: &delay_ps,
+                barrier_wait_wall_ns: waited_wall_ns,
+            });
+
             report.steps.push(StepMetrics {
                 step: global_step,
                 train_loss: loss,
@@ -1446,6 +1512,10 @@ fn run_rank(
         0.0
     };
     report.trace = recorder.map(TraceRecorder::finish);
+    let dropped_spans = report.trace.as_ref().map(|t| t.dropped).unwrap_or(0);
+    let (registry, health) = observer.finish(g, r, &report.traffic, device.peak(), dropped_spans);
+    report.metrics = registry;
+    report.health = health;
     // Terminal snapshot: the run's exact final state (params + full
     // epoch history). Rank 0's copy is authoritative — it alone carries
     // the validation history — and resuming from it is a no-op run.
@@ -1480,7 +1550,7 @@ const SAMPLE_SEED: u64 = 0x5eed_5eed_5eed_5eed;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CheckpointConfig, CommConfig, Method, TraceConfig};
+    use crate::config::{CheckpointConfig, CommConfig, Method, MetricsConfig, TraceConfig};
     use crate::seeding::SeedStrategy;
 
     fn quick_cfg(model: ModelKind, gpus: usize, method: Method) -> TrainConfig {
@@ -1497,6 +1567,7 @@ mod tests {
             seed: 7,
             tokens: 30_000,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             checkpoint: CheckpointConfig::off(),
             comm: CommConfig::flat(),
         }

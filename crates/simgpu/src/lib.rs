@@ -29,6 +29,10 @@
 //!   exporter, so individual collectives, barrier waits and injected
 //!   straggler delays are visible per rank, not just in aggregates.
 //!
+//! * [`metrics`] — per-rank fleet metrics: counters, gauges and
+//!   log-bucketed histograms with deterministic bucket boundaries, so
+//!   cross-rank and cross-run merges are exact (merged == pooled), plus
+//!   a byte-stable Prometheus text exporter.
 //! * [`pool::RunGate`] / [`pool::run_ranks`] — a bounded worker pool so
 //!   hundreds of ranks multiplex over ~num_cpus OS-thread run slots,
 //!   parking slot-free at collectives (paper-scale worlds of 48–192
@@ -46,6 +50,7 @@ pub mod cost;
 pub mod device;
 pub mod fault;
 pub mod hw;
+pub mod metrics;
 pub mod pool;
 pub mod timing;
 pub mod trace;
@@ -64,10 +69,14 @@ pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};
 pub use fault::FaultPlan;
 pub use hw::HardwareConfig;
+pub use metrics::{
+    bucket_bounds, bucket_index, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry,
+    HIST_BUCKETS, HIST_SUB_BUCKETS,
+};
 pub use pool::{run_ranks, RunGate};
 pub use timing::PhaseTimer;
 pub use trace::{
-    chrome_trace_json, secs_to_ps, sim_trace_json, SimSpan, SimStream, SpanKind, TraceEvent,
-    TraceLog, TraceRecorder,
+    chrome_trace_json, chrome_trace_json_with_counters, secs_to_ps, sim_trace_json, CounterTrack,
+    SimSpan, SimStream, SpanKind, TraceEvent, TraceLog, TraceRecorder,
 };
 pub use traffic::{Tier, TierBytes, TrafficRecorder, TrafficSnapshot};

@@ -273,6 +273,18 @@ fn push_meta(out: &mut String, first: &mut bool, tid: u64, name: &str, sort_inde
     ));
 }
 
+/// One Chrome Trace counter series: a named track of `(t_ns, value)`
+/// points rendered as a "C"-phase event each, so tracing UIs plot the
+/// trend (wire bytes per step, unique-set size per step, …) alongside
+/// the span tracks without external scripts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterTrack {
+    /// Track (and series) name shown by the tracing UI.
+    pub name: &'static str,
+    /// `(wall-clock ns since origin, value)` samples in display order.
+    pub points: Vec<(u64, u64)>,
+}
+
 /// Serialises per-rank logs into Chrome Trace Event Format JSON.
 ///
 /// Load the string (saved as a `.json` file) in `chrome://tracing` or
@@ -282,7 +294,20 @@ fn push_meta(out: &mut String, first: &mut bool, tid: u64, name: &str, sort_inde
 /// Timestamps are microseconds with nanosecond precision; each event's
 /// `args` carry its step and wire bytes. Output is byte-stable for
 /// identical input logs (golden-tested in `tests/telemetry_golden.rs`).
+///
+/// A log with `dropped > 0` additionally carries one
+/// `trace_truncated` metadata event on its work track naming the
+/// overwritten-span count, so a truncated trace is never silently
+/// trusted (logs with `dropped == 0` serialise exactly as before).
 pub fn chrome_trace_json(logs: &[TraceLog]) -> String {
+    chrome_trace_json_with_counters(logs, &[])
+}
+
+/// [`chrome_trace_json`] plus counter tracks: each [`CounterTrack`]
+/// point becomes a `"ph":"C"` event on `tid = 0`, named after the
+/// track, after the span events. With an empty `counters` slice the
+/// output is byte-identical to [`chrome_trace_json`].
+pub fn chrome_trace_json_with_counters(logs: &[TraceLog], counters: &[CounterTrack]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     for log in logs {
@@ -295,6 +320,21 @@ pub fn chrome_trace_json(logs: &[TraceLog]) -> String {
             &format!("rank {r} waits"),
             2 * r + 1,
         );
+    }
+    for log in logs {
+        if log.dropped > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"rank\":{},\"dropped\":{}}}}}",
+                2 * u64::from(log.rank),
+                log.rank,
+                log.dropped,
+            ));
+        }
     }
     for log in logs {
         for e in &log.events {
@@ -314,6 +354,22 @@ pub fn chrome_trace_json(logs: &[TraceLog]) -> String {
                 micros(e.duration_ns()),
                 e.step,
                 e.bytes,
+            ));
+        }
+    }
+    for track in counters {
+        for &(t_ns, value) in &track.points {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\
+                 \"ts\":{},\"args\":{{\"{}\":{}}}}}",
+                track.name,
+                micros(t_ns),
+                track.name,
+                value,
             ));
         }
     }
@@ -559,5 +615,47 @@ mod tests {
         assert!(json.contains("\"name\":\"rank 1 waits\""));
         // Balanced braces — cheap well-formedness proxy.
         assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+    }
+
+    #[test]
+    fn dropped_spans_surface_as_metadata_only_when_nonzero() {
+        let clean = TraceLog {
+            rank: 0,
+            events: vec![],
+            dropped: 0,
+        };
+        assert!(!chrome_trace_json(std::slice::from_ref(&clean)).contains("trace_truncated"));
+        let truncated = TraceLog {
+            rank: 2,
+            events: vec![],
+            dropped: 17,
+        };
+        let json = chrome_trace_json(&[clean, truncated]);
+        assert!(json.contains(
+            "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":0,\"tid\":4,\
+             \"args\":{\"rank\":2,\"dropped\":17}}"
+        ));
+        assert_eq!(json.matches("trace_truncated").count(), 1);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn counter_tracks_emit_c_phase_events() {
+        let track = CounterTrack {
+            name: "wire_bytes_per_step",
+            points: vec![(1000, 64), (2000, 128)],
+        };
+        let json = chrome_trace_json_with_counters(&[], &[track]);
+        assert!(json.contains(
+            "{\"name\":\"wire_bytes_per_step\",\"cat\":\"sim\",\"ph\":\"C\",\"pid\":0,\
+             \"tid\":0,\"ts\":1.000,\"args\":{\"wire_bytes_per_step\":64}}"
+        ));
+        assert!(json.contains("\"ts\":2.000,\"args\":{\"wire_bytes_per_step\":128}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // No counters → byte-identical to the plain exporter.
+        assert_eq!(
+            chrome_trace_json_with_counters(&[], &[]),
+            chrome_trace_json(&[])
+        );
     }
 }

@@ -6,7 +6,9 @@
 //! cargo run --release --example char_lm
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{
+    train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+};
 
 fn main() {
     let cfg = TrainConfig {
@@ -22,6 +24,7 @@ fn main() {
         seed: 5,
         tokens: 120_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };

@@ -11,8 +11,8 @@
 
 use simgpu::FaultPlan;
 use zipf_lm::{
-    chrome_trace_json, train_elastic, CheckpointConfig, CommConfig, Method, ModelKind,
-    RecoveryPolicy, TraceConfig, TrainConfig,
+    chrome_trace_json, train_elastic, CheckpointConfig, CommConfig, Method, MetricsConfig,
+    ModelKind, RecoveryPolicy, TraceConfig, TrainConfig,
 };
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
         seed: 42,
         tokens: 100_000,
         trace: TraceConfig::on(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::every(10),
         comm: CommConfig::flat(),
     };

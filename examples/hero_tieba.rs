@@ -15,7 +15,9 @@
 //! cargo run --release --example hero_tieba
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{
+    train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+};
 
 fn main() {
     println!("Tieba weak scaling (miniature): vocab 2000, data grows with GPUs\n");
@@ -47,6 +49,7 @@ fn main() {
             seed: 999,
             tokens: 30_000 * data_mult,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             checkpoint: CheckpointConfig::off(),
             comm: CommConfig::flat(),
         };

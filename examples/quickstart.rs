@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{
+    train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+};
 
 fn main() {
     let mut cfg = TrainConfig {
@@ -21,6 +23,7 @@ fn main() {
         seed: 42,
         tokens: 100_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };

@@ -8,8 +8,9 @@
 //! ```
 
 use zipf_lm::{
-    chrome_trace_json, train, train_with_faults, train_with_memory_limit, CheckpointConfig,
-    CommConfig, FaultPlan, Method, ModelKind, TraceConfig, TrainConfig, TrainError,
+    chrome_trace_json_with_counters, train, train_with_faults, train_with_memory_limit,
+    CheckpointConfig, CommConfig, FaultPlan, HealthEvent, Method, MetricsConfig, ModelKind,
+    TraceConfig, TrainConfig, TrainError,
 };
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
@@ -26,6 +27,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         seed: 11,
         tokens: 300_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }
@@ -80,6 +82,7 @@ fn main() {
     let mut tcfg = cfg(4, Method::full());
     tcfg.steps_per_epoch = 8;
     tcfg.trace = TraceConfig::on();
+    tcfg.metrics = MetricsConfig::on();
     let plan = FaultPlan::none().straggle(2, std::time::Duration::from_millis(5));
     let reports: Vec<_> = train_with_faults(&tcfg, u64::MAX / 4, &plan)
         .into_iter()
@@ -100,13 +103,44 @@ fn main() {
             a.self_delay_ps
         );
     }
+    // Fleet metrics: the health monitor should have flagged the injected
+    // straggler, and rank 0 carries the exact cross-rank merged registry
+    // plus the byte-stable RunSummary artifact bench-diff gates on.
+    for ev in &reports[0].health {
+        match ev {
+            HealthEvent::Straggler {
+                rank,
+                factor_milli,
+                step,
+            } => println!(
+                "  health: rank {rank} straggling at {:.2}x the median (flagged at step {step})",
+                *factor_milli as f64 / 1000.0
+            ),
+            HealthEvent::TraceTruncated { rank, dropped } => {
+                println!("  health: rank {rank} trace ring dropped {dropped} span(s)")
+            }
+        }
+    }
+    let summary = reports[0].run_summary(&tcfg);
+    println!(
+        "  summary: step p50 {} ps, p95 {} ps, p99 {} ps, max {} ps",
+        summary.step_p50_ps, summary.step_p95_ps, summary.step_p99_ps, summary.step_max_ps
+    );
     let logs: Vec<_> = reports.iter().filter_map(|rep| rep.trace.clone()).collect();
     let _ = std::fs::create_dir_all("target");
     let chrome = "target/word_lm_scaling.trace.json";
     let jsonl = "target/word_lm_scaling.steps.jsonl";
-    std::fs::write(chrome, chrome_trace_json(&logs)).expect("write chrome trace");
+    let summary_path = "target/word_lm_scaling.summary.json";
+    // Counter tracks ride in the same Chrome trace as "C"-phase events:
+    // wire bytes and Ug per step render as counter charts above the spans.
+    std::fs::write(
+        chrome,
+        chrome_trace_json_with_counters(&logs, &reports[0].counter_tracks()),
+    )
+    .expect("write chrome trace");
     std::fs::write(jsonl, reports[0].steps_jsonl()).expect("write step jsonl");
-    println!("  wrote {chrome} (open in chrome://tracing) and {jsonl}");
+    std::fs::write(summary_path, summary.to_json()).expect("write run summary");
+    println!("  wrote {chrome} (open in chrome://tracing), {jsonl} and {summary_path}");
 
     println!("\nfull-scale (calibrated) version: `cargo run -p zlm-bench --bin repro table3`");
 }

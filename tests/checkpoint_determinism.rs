@@ -16,7 +16,7 @@ use std::sync::Arc;
 use zipf_lm::checkpoint::{Checkpoint, CheckpointMetrics, Fingerprint};
 use zipf_lm::{
     train_checkpointed, CheckpointConfig, CheckpointStore, CommConfig, EpochMetrics, Method,
-    ModelKind, TimeAttribution, TraceConfig, TrainConfig,
+    MetricsConfig, ModelKind, TimeAttribution, TraceConfig, TrainConfig,
 };
 
 /// Unconstrained device capacity (mirrors the trainer's own default).
@@ -39,6 +39,7 @@ fn run_cfg(model: ModelKind, gpus: usize, method: Method, seed: u64) -> TrainCon
         seed,
         tokens: 20_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig {
             every_steps: 2,
             keep_last: 4,

@@ -21,8 +21,8 @@ use simgpu::{FaultPlan, WireCodecId};
 use std::sync::Arc;
 use zipf_lm::checkpoint::Checkpoint;
 use zipf_lm::{
-    train_checkpointed, CheckpointConfig, CheckpointStore, CommConfig, Method, ModelKind,
-    TraceConfig, TrainConfig, TrainReport,
+    train_checkpointed, CheckpointConfig, CheckpointStore, CommConfig, Method, MetricsConfig,
+    ModelKind, TraceConfig, TrainConfig, TrainReport,
 };
 
 /// Unconstrained device capacity (mirrors the trainer's own default).
@@ -42,6 +42,7 @@ fn cfg(gpus: usize, comm: CommConfig) -> TrainConfig {
         seed: 1234,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig {
             every_steps: 0,
             keep_last: 1,

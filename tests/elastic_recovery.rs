@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use zipf_lm::{
     train_checkpointed, train_elastic, CheckpointConfig, CheckpointStore, CommConfig, Method,
-    ModelKind, RecoveryPolicy, TraceConfig, TrainConfig, TrainError,
+    MetricsConfig, ModelKind, RecoveryPolicy, TraceConfig, TrainConfig, TrainError,
 };
 
 const WATCHDOG_SECS: u64 = 60;
@@ -55,6 +55,7 @@ fn cfg(gpus: usize) -> TrainConfig {
         seed: 7,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig {
             every_steps: 2,
             keep_last: 8,

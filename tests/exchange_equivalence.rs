@@ -14,8 +14,8 @@ use rand::{Rng, SeedableRng};
 use simgpu::{CommGroup, Rank};
 use tensor::Matrix;
 use zipf_lm::{
-    exchange_and_apply, train, CheckpointConfig, CommConfig, ExchangeConfig, Method, ModelKind,
-    TraceConfig, TrainConfig,
+    exchange_and_apply, train, CheckpointConfig, CommConfig, ExchangeConfig, Method, MetricsConfig,
+    ModelKind, TraceConfig, TrainConfig,
 };
 
 const DIM: usize = 5;
@@ -175,6 +175,7 @@ fn training_trajectories_coincide() {
         seed: 31,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };

@@ -13,7 +13,7 @@ use std::sync::mpsc;
 use std::time::Duration;
 use zipf_lm::{
     train, train_with_faults, train_with_memory_limit, CheckpointConfig, CommConfig, Method,
-    ModelKind, TraceConfig, TrainConfig, TrainError,
+    MetricsConfig, ModelKind, TraceConfig, TrainConfig, TrainError,
 };
 
 /// Generous bound: the whole suite's fault runs finish in well under a
@@ -48,6 +48,7 @@ fn cfg(gpus: usize) -> TrainConfig {
         seed: 7,
         tokens: 30_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }

@@ -6,7 +6,9 @@ use corpus::{CorpusGenerator, DatasetProfile, TokenUnit, Vocab};
 use simgpu::CommGroup;
 use tensor::f16::round_trip;
 use zipf::{fit_power_law, FrequencyTable};
-use zipf_lm::{train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig};
+use zipf_lm::{
+    train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
+};
 
 #[test]
 fn corpus_to_vocab_to_training_pipeline() {
@@ -29,6 +31,7 @@ fn corpus_to_vocab_to_training_pipeline() {
         seed: 9,
         tokens: 50_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };
@@ -118,6 +121,7 @@ fn traffic_attribution_consistent_with_report() {
         seed: 21,
         tokens: 40_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     };
@@ -162,6 +166,7 @@ fn word_and_char_models_share_exchange_machinery() {
                 seed: 4,
                 tokens: 30_000,
                 trace: TraceConfig::off(),
+                metrics: MetricsConfig::off(),
                 checkpoint: CheckpointConfig::off(),
                 comm: CommConfig::flat(),
             };

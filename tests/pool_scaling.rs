@@ -12,8 +12,8 @@ use simgpu::{CommGroup, FaultPlan};
 use std::sync::mpsc;
 use std::time::Duration;
 use zipf_lm::{
-    train, train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig,
-    TrainConfig, TrainError,
+    train, train_with_faults, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind,
+    TraceConfig, TrainConfig, TrainError,
 };
 
 /// CI backstop: a lost wakeup or pool starvation would otherwise hang
@@ -51,6 +51,7 @@ fn cfg(gpus: usize, comm: CommConfig) -> TrainConfig {
         seed: 11,
         tokens: 60_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm,
     }

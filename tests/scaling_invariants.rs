@@ -6,7 +6,8 @@
 use perfmodel::{TechniqueStack, WordScale};
 use zipf::fit_power_law;
 use zipf_lm::{
-    train, CheckpointConfig, CommConfig, Method, ModelKind, SeedStrategy, TraceConfig, TrainConfig,
+    train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, SeedStrategy,
+    TraceConfig, TrainConfig,
 };
 
 fn cfg(gpus: usize, method: Method) -> TrainConfig {
@@ -23,6 +24,7 @@ fn cfg(gpus: usize, method: Method) -> TrainConfig {
         seed: 77,
         tokens: 120_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }

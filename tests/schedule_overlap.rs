@@ -9,8 +9,8 @@
 use simgpu::FaultPlan;
 use std::time::Duration;
 use zipf_lm::{
-    train, train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, SimStream,
-    TraceConfig, TrainConfig, TrainReport,
+    train, train_with_faults, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind,
+    SimStream, TraceConfig, TrainConfig, TrainReport,
 };
 
 /// `trainer::UNLIMITED` is private; same headroom trick as elsewhere.
@@ -37,6 +37,7 @@ fn word_cfg(gpus: usize, comm: CommConfig) -> TrainConfig {
         seed: 7,
         tokens: 20_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm,
     }
@@ -56,6 +57,7 @@ fn char_cfg(gpus: usize, comm: CommConfig) -> TrainConfig {
         seed: 11,
         tokens: 60_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm,
     }

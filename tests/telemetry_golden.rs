@@ -9,7 +9,8 @@
 //! test.
 
 use zipf_lm::{
-    chrome_trace_json, ExchangeStats, SpanKind, StepMetrics, TimeAttribution, TraceEvent, TraceLog,
+    chrome_trace_json, chrome_trace_json_with_counters, CounterTrack, ExchangeStats,
+    MetricsRegistry, RunSummary, SpanKind, StepMetrics, TimeAttribution, TraceEvent, TraceLog,
     TrainReport,
 };
 
@@ -256,4 +257,159 @@ fn steps_jsonl_schema_is_codec_agnostic_and_carries_compressed_bytes() {
     // line carries, the codec bookkeeping never appears.
     assert_eq!(a.steps_jsonl(), expected);
     assert_eq!(a.steps_jsonl(), b.steps_jsonl());
+}
+
+/// Counter tracks and ring-drop metadata in the Chrome exporter:
+/// "C"-phase points land after the spans on tid 0, and a log with
+/// `dropped > 0` declares a `trace_truncated` metadata event on its
+/// work track. Logs with `dropped == 0` serialise exactly as before —
+/// `chrome_trace_json_is_byte_stable` above pins that.
+#[test]
+fn chrome_trace_counters_and_truncation_are_byte_stable() {
+    let mut logs = fixture_logs();
+    logs[1].dropped = 3;
+    let counters = vec![CounterTrack {
+        name: "wire_bytes_per_step",
+        points: vec![(4_750, 5_056), (5_200, 4_992)],
+    }];
+    let expected = concat!(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"rank 0\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"sort_index\":0}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"rank 0 waits\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"sort_index\":1}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"name\":\"rank 1\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"sort_index\":2}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3,\"args\":{\"name\":\"rank 1 waits\"}},",
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":3,\"args\":{\"sort_index\":3}},",
+        // Rank 1 overflowed its ring: the truncation marker rides its
+        // work track so a clipped trace is never silently trusted.
+        "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":0,\"tid\":2,\"args\":{\"rank\":1,\"dropped\":3}},",
+        "{\"name\":\"Compute\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":0,",
+        "\"ts\":1.000,\"dur\":2.500,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"Gather\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":0,",
+        "\"ts\":3.500,\"dur\":0.500,\"args\":{\"step\":0,\"bytes\":96}},",
+        "{\"name\":\"BarrierWait\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":1,",
+        "\"ts\":4.000,\"dur\":0.750,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"Compute\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":2,",
+        "\"ts\":0.900,\"dur\":2.200,\"args\":{\"step\":0,\"bytes\":0}},",
+        "{\"name\":\"AllReduce\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":0,\"tid\":2,",
+        "\"ts\":3.100,\"dur\":2.100,\"args\":{\"step\":1,\"bytes\":128}},",
+        "{\"name\":\"wire_bytes_per_step\",\"cat\":\"sim\",\"ph\":\"C\",\"pid\":0,\"tid\":0,",
+        "\"ts\":4.750,\"args\":{\"wire_bytes_per_step\":5056}},",
+        "{\"name\":\"wire_bytes_per_step\",\"cat\":\"sim\",\"ph\":\"C\",\"pid\":0,\"tid\":0,",
+        "\"ts\":5.200,\"args\":{\"wire_bytes_per_step\":4992}}",
+        "]}",
+    );
+    assert_eq!(chrome_trace_json_with_counters(&logs, &counters), expected);
+    // No counters + no drops must stay byte-identical to the plain
+    // exporter (the golden above).
+    assert_eq!(
+        chrome_trace_json_with_counters(&fixture_logs(), &[]),
+        chrome_trace_json(&fixture_logs())
+    );
+}
+
+/// Prometheus text exposition golden: counters, then gauges, then
+/// histograms, each sorted by name, `zlm_`-prefixed, with cumulative
+/// `le` buckets over the non-empty boundaries only.
+#[test]
+fn prometheus_text_is_byte_stable() {
+    let mut reg = MetricsRegistry::default();
+    let wire = reg.counter("wire_bytes_total");
+    let steps = reg.counter("steps_total");
+    reg.inc(wire, 1_000);
+    reg.inc(steps, 3);
+    let world = reg.gauge("world");
+    reg.gauge_max(world, 2);
+    let h = reg.histogram("step_time_ps");
+    reg.observe(h, 5); // exact bucket [5, 5]
+    reg.observe(h, 100); // log bucket [96, 103]
+    let expected = concat!(
+        "# TYPE zlm_steps_total counter\n",
+        "zlm_steps_total 3\n",
+        "# TYPE zlm_wire_bytes_total counter\n",
+        "zlm_wire_bytes_total 1000\n",
+        "# TYPE zlm_world gauge\n",
+        "zlm_world 2\n",
+        "# TYPE zlm_step_time_ps histogram\n",
+        "zlm_step_time_ps_bucket{le=\"5\"} 1\n",
+        "zlm_step_time_ps_bucket{le=\"103\"} 2\n",
+        "zlm_step_time_ps_bucket{le=\"+Inf\"} 2\n",
+        "zlm_step_time_ps_sum 105\n",
+        "zlm_step_time_ps_count 2\n",
+    );
+    assert_eq!(reg.prometheus_text(), expected);
+}
+
+/// RunSummary artifact golden: fixed field order, two-space indent, no
+/// trailing newline — the exact bytes `bench-diff` goldens are checked
+/// in as.
+#[test]
+fn run_summary_json_is_byte_stable() {
+    let s = RunSummary {
+        world: 4,
+        config_fingerprint: "05124b61d31a861b".to_string(),
+        steps: 8,
+        sim_time_ps: 42_052_643_829,
+        step_p50_ps: 5_256_711_422,
+        step_p95_ps: 5_256_711_422,
+        step_p99_ps: 5_256_711_422,
+        step_max_ps: 5_256_711_422,
+        compute_ps: 73_477_829,
+        wire_intra_ps: 1_979_166_000,
+        wire_inter_ps: 0,
+        barrier_wait_ps: 0,
+        skew_ps: 40_000_000_000,
+        self_delay_ps: 0,
+        overlapped_ps: 0,
+        wire_intra_bytes: 3_787_392,
+        wire_inter_bytes: 0,
+        codec_raw_bytes: 180_032,
+        codec_enc_bytes: 180_032,
+        codec_ratio_milli: 1_000,
+        train_loss: 6.5,
+        dropped_spans: 0,
+        health_events: 1,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"schema\": \"zlm.run_summary.v1\",\n",
+        "  \"world\": 4,\n",
+        "  \"config_fingerprint\": \"05124b61d31a861b\",\n",
+        "  \"steps\": 8,\n",
+        "  \"sim_time_ps\": 42052643829,\n",
+        "  \"step_p50_ps\": 5256711422,\n",
+        "  \"step_p95_ps\": 5256711422,\n",
+        "  \"step_p99_ps\": 5256711422,\n",
+        "  \"step_max_ps\": 5256711422,\n",
+        "  \"compute_ps\": 73477829,\n",
+        "  \"wire_intra_ps\": 1979166000,\n",
+        "  \"wire_inter_ps\": 0,\n",
+        "  \"barrier_wait_ps\": 0,\n",
+        "  \"skew_ps\": 40000000000,\n",
+        "  \"self_delay_ps\": 0,\n",
+        "  \"overlapped_ps\": 0,\n",
+        "  \"wire_intra_bytes\": 3787392,\n",
+        "  \"wire_inter_bytes\": 0,\n",
+        "  \"codec_raw_bytes\": 180032,\n",
+        "  \"codec_enc_bytes\": 180032,\n",
+        "  \"codec_ratio_milli\": 1000,\n",
+        "  \"train_loss\": 6.5,\n",
+        "  \"dropped_spans\": 0,\n",
+        "  \"health_events\": 1\n",
+        "}",
+    );
+    assert_eq!(s.to_json(), expected);
+    // Non-finite losses serialise as JSON null and parse back to NaN,
+    // keeping the decode→encode cycle byte-identical.
+    let nan = RunSummary {
+        train_loss: f64::NAN,
+        ..s
+    };
+    let text = nan.to_json();
+    assert!(text.contains("\"train_loss\": null"));
+    let back = RunSummary::from_json(&text).expect("parse");
+    assert!(back.train_loss.is_nan());
+    assert_eq!(back.to_json(), text);
 }

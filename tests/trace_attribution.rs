@@ -7,8 +7,8 @@
 use simgpu::{FaultPlan, SpanKind};
 use std::time::Duration;
 use zipf_lm::{
-    train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig,
-    TrainReport,
+    train_with_faults, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig,
+    TrainConfig, TrainReport,
 };
 
 /// `trainer::UNLIMITED` is private; same headroom trick.
@@ -28,6 +28,7 @@ fn traced_cfg(gpus: usize) -> TrainConfig {
         seed: 7,
         tokens: 20_000,
         trace: TraceConfig::on(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }

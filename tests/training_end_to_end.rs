@@ -4,8 +4,8 @@
 
 use simgpu::FaultPlan;
 use zipf_lm::{
-    train, train_with_faults, CheckpointConfig, CommConfig, Method, ModelKind, SeedStrategy,
-    TraceConfig, TrainConfig,
+    train, train_with_faults, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind,
+    SeedStrategy, TraceConfig, TrainConfig,
 };
 
 fn base_cfg() -> TrainConfig {
@@ -22,6 +22,7 @@ fn base_cfg() -> TrainConfig {
         seed: 42,
         tokens: 40_000,
         trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
         checkpoint: CheckpointConfig::off(),
         comm: CommConfig::flat(),
     }

@@ -290,7 +290,8 @@ fn codec_recorded_bytes_never_exceed_identity() {
 #[test]
 fn mean_step_bytes_reconciles_with_traffic_recorder() {
     use zipf_lm::{
-        train, CheckpointConfig, CommConfig, Method, ModelKind, TraceConfig, TrainConfig,
+        train, CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig,
+        TrainConfig,
     };
     for method in [Method::baseline(), Method::unique()] {
         let cfg = TrainConfig {
@@ -306,6 +307,7 @@ fn mean_step_bytes_reconciles_with_traffic_recorder() {
             seed: 13,
             tokens: 30_000,
             trace: TraceConfig::off(),
+            metrics: MetricsConfig::off(),
             checkpoint: CheckpointConfig::off(),
             comm: CommConfig::flat(),
         };
