@@ -1,0 +1,46 @@
+//! Bench target for the chaos-recovery breakdown: one elastic run per
+//! fault class (clean transient kill, kill after torn-write /
+//! bit-flip / unlink disk rot, two-round double kill), each restoring
+//! through a real on-disk checkpoint directory with the fault injected
+//! by the store itself. Persists the recovery surface — rounds,
+//! restored cut, steps lost, modelled backoff, corrupt frames — as
+//! `BENCH_chaos.json` at the workspace root. Every field is simulated,
+//! so the file is deterministic: CI asserts a fresh run leaves the
+//! committed golden byte-identical, exactly like `BENCH_overlap.json`.
+//!
+//! `harness = false`: this is a measured experiment with a side effect,
+//! not a statistical microbenchmark.
+
+use std::time::Instant;
+use zlm_bench::{chaos_recovery, chaos_recovery_json};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let t0 = Instant::now();
+    let rows = chaos_recovery(!full);
+    let wall = t0.elapsed();
+
+    println!("chaos_recovery: durable-store recovery breakdown per fault class");
+    println!(
+        "{:>15} {:>6} {:>7} {:>9} {:>6} {:>12} {:>8} {:>6}",
+        "scenario", "world", "rounds", "restored", "lost", "backoff_ms", "corrupt", "final"
+    );
+    for r in &rows {
+        println!(
+            "{:>15} {:>6} {:>7} {:>9} {:>6} {:>12.1} {:>8} {:>6}",
+            r.scenario,
+            r.world,
+            r.rounds,
+            r.restored_step,
+            r.steps_lost,
+            r.backoff_ps as f64 / 1e9,
+            r.corrupt_frames,
+            r.final_world,
+        );
+    }
+    println!("(all recoveries bit-deterministic; wall {wall:.2?})");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    std::fs::write(path, chaos_recovery_json(&rows)).expect("write BENCH_chaos.json");
+    println!("wrote {path}");
+}

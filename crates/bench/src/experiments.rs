@@ -646,6 +646,166 @@ pub fn codec_crossover_json(rows: &[CodecCrossoverRow]) -> String {
     out
 }
 
+/// One chaos-recovery scenario: a named fault composition driven
+/// through the durable on-disk checkpoint store, with its recovery
+/// breakdown. Every field is simulated (rounds, restored cuts, modelled
+/// backoff) — no wall clock — so the rows are deterministic and CI pins
+/// `BENCH_chaos.json` byte-identical like the other goldens.
+#[derive(Debug, Clone)]
+pub struct ChaosRecoveryRow {
+    /// Scenario name (one per injected fault class).
+    pub scenario: &'static str,
+    /// Starting world size.
+    pub world: usize,
+    /// Recovery rounds the elastic driver took.
+    pub rounds: u64,
+    /// Step of the snapshot the *first* recovery restored from
+    /// (0 = cold restart; real snapshots start at step 2).
+    pub restored_step: u64,
+    /// Steps of progress rolled back by the first recovery.
+    pub steps_lost: u64,
+    /// Summed simulated backoff across all recovery rounds.
+    pub backoff_ps: u64,
+    /// Corrupt checkpoint frames the scan detected and skipped.
+    pub corrupt_frames: u64,
+    /// World size the run finished at.
+    pub final_world: usize,
+    /// Final epoch training loss (deterministic per scenario).
+    pub train_loss: f64,
+}
+
+/// World size and failure schedule shared by every chaos scenario.
+const CHAOS_WORLD: usize = 4;
+
+/// The chaos-recovery breakdown: one elastic run per fault class —
+/// clean transient kill, kill after each flavour of disk rot (torn
+/// write, bit flip, unlink), and a two-round double kill — each over a
+/// real on-disk [`CheckpointDir`] with the fault injected by the
+/// store itself. Reports how far each scenario rolled back and what
+/// the modelled backoff cost, so a regression in recovery behaviour
+/// (wrong cut chosen, extra rounds, corruption missed) moves the
+/// artifact and trips the byte diff.
+pub fn chaos_recovery(_quick: bool) -> Vec<ChaosRecoveryRow> {
+    use simgpu::{DiskFault, DiskFaultPlan, FaultPlan};
+    use std::sync::Arc;
+    use zipf_lm::{CheckpointDir, HealthEvent, RecoveryPolicy};
+
+    let cfg = TrainConfig {
+        model: ModelKind::Word { vocab: 200 },
+        gpus: CHAOS_WORLD,
+        batch: 2,
+        seq_len: 6,
+        steps_per_epoch: 6,
+        epochs: 2,
+        base_lr: 0.3,
+        lr_decay: 0.95,
+        method: Method::unique_seeded(),
+        seed: 7,
+        tokens: 30_000,
+        trace: TraceConfig::off(),
+        metrics: MetricsConfig::off(),
+        checkpoint: CheckpointConfig {
+            every_steps: 2,
+            keep_last: 8,
+        },
+        comm: CommConfig::flat(),
+    };
+    let policy = RecoveryPolicy {
+        max_restarts: CHAOS_WORLD,
+        backoff: std::time::Duration::from_millis(10),
+    };
+    let scenarios: [(&'static str, FaultPlan, DiskFaultPlan); 5] = [
+        (
+            "transient-kill",
+            FaultPlan::none().kill_rank_transient(2, 5),
+            DiskFaultPlan::none(),
+        ),
+        (
+            "torn-write",
+            FaultPlan::none().kill_rank_transient(2, 5),
+            DiskFaultPlan::none().inject(1, 4, DiskFault::TornWrite { keep: 7 }),
+        ),
+        (
+            "bit-flip",
+            FaultPlan::none().kill_rank_transient(2, 5),
+            DiskFaultPlan::none().inject(1, 4, DiskFault::BitFlip { byte: 45, bit: 2 }),
+        ),
+        (
+            "unlink",
+            FaultPlan::none().kill_rank_transient(2, 5),
+            DiskFaultPlan::none().inject(0, 4, DiskFault::Unlink),
+        ),
+        (
+            "double-kill",
+            FaultPlan::none()
+                .kill_rank_transient(1, 3)
+                .kill_rank_transient(2, 9),
+            DiskFaultPlan::none(),
+        ),
+    ];
+    scenarios
+        .into_iter()
+        .enumerate()
+        .map(|(i, (scenario, faults, disk))| {
+            let root = std::env::temp_dir().join(format!(
+                "zlm-bench-chaos-{}-{i}-{scenario}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let backend = Arc::new(
+                CheckpointDir::open_with_faults(&root, cfg.checkpoint.keep_last, disk)
+                    .expect("open chaos checkpoint dir"),
+            );
+            let outcome = zipf_lm::train_elastic_durable(&cfg, &faults, policy, backend)
+                .unwrap_or_else(|e| panic!("chaos scenario {scenario} failed: {e:?}"));
+            let _ = std::fs::remove_dir_all(&root);
+            let first = outcome.recoveries.first();
+            ChaosRecoveryRow {
+                scenario,
+                world: CHAOS_WORLD,
+                rounds: outcome.recoveries.len() as u64,
+                restored_step: first.and_then(|ev| ev.restored_step).unwrap_or(0),
+                steps_lost: first.map_or(0, |ev| ev.steps_lost),
+                backoff_ps: outcome.recoveries.iter().map(|ev| ev.backoff_ps).sum(),
+                corrupt_frames: outcome
+                    .report
+                    .health
+                    .iter()
+                    .filter(|h| matches!(h, HealthEvent::CheckpointCorrupt { .. }))
+                    .count() as u64,
+                final_world: outcome.final_world,
+                train_loss: outcome.report.epochs.last().expect("epochs").train_loss,
+            }
+        })
+        .collect()
+}
+
+/// Renders chaos rows as the `BENCH_chaos.json` artifact. Every field
+/// is simulated, so the committed golden must survive a fresh run
+/// byte-identical, exactly like `BENCH_overlap.json`.
+pub fn chaos_recovery_json(rows: &[ChaosRecoveryRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"chaos\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"world\": {}, \"rounds\": {}, \
+             \"restored_step\": {}, \"steps_lost\": {}, \"backoff_ps\": {}, \
+             \"corrupt_frames\": {}, \"final_world\": {}, \"train_loss\": {}}}{}\n",
+            r.scenario,
+            r.world,
+            r.rounds,
+            r.restored_step,
+            r.steps_lost,
+            r.backoff_ps,
+            r.corrupt_frames,
+            r.final_world,
+            r.train_loss,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// §V-D comparison against [21] (Puri et al., Amazon Reviews char LM on
 /// 128 V100s): our char-LM BPC on the ar profile plus the
 /// infrastructure-normalised throughput argument.
@@ -841,6 +1001,44 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert_eq!(json.matches("\"gpus\"").count(), rows.len());
         assert!(json.contains("\"index_gather_bytes\""));
+    }
+
+    #[test]
+    fn chaos_recovery_rows_cover_fault_classes() {
+        let rows = chaos_recovery(true);
+        assert_eq!(
+            rows.iter().map(|r| r.scenario).collect::<Vec<_>>(),
+            vec![
+                "transient-kill",
+                "torn-write",
+                "bit-flip",
+                "unlink",
+                "double-kill"
+            ]
+        );
+        for r in &rows {
+            assert!(r.rounds >= 1, "{r:?}");
+            assert!(r.final_world < r.world, "{r:?}");
+            assert!(r.backoff_ps > 0, "backoff must be modelled: {r:?}");
+            assert!(r.train_loss.is_finite(), "{r:?}");
+        }
+        // The clean kill restores the newest cut (step 4); every disk
+        // fault damages exactly one frame and rolls back to step 2.
+        assert_eq!(rows[0].restored_step, 4);
+        assert_eq!(rows[0].corrupt_frames, 0);
+        for r in &rows[1..4] {
+            assert_eq!(r.restored_step, 2, "{r:?}");
+            assert_eq!(r.corrupt_frames, 1, "{r:?}");
+        }
+        // Two kills, two rounds, doubled second backoff: 10 + 20 ms.
+        assert_eq!(rows[4].rounds, 2);
+        assert_eq!(rows[4].backoff_ps, 30_000_000_000);
+        assert_eq!(rows[4].final_world, 2);
+
+        let json = chaos_recovery_json(&rows);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"scenario\"").count(), rows.len());
+        assert!(json.contains("\"corrupt_frames\""));
     }
 
     #[test]

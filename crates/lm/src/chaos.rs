@@ -1,0 +1,299 @@
+//! Seeded chaos harness: arbitrary fault sequences from one `u64`.
+//!
+//! [`ChaosPlan::from_seed`] deterministically expands a seed into a
+//! composition of every fault class the stack knows how to inject —
+//! permanent and transient kills, stragglers, one-sided OOM, silent
+//! hangs, in-flight wire corruption, and disk faults against the
+//! durable checkpoint store (torn writes, bit rot, unlinks). The same
+//! seed always yields the same plan, so a failing sweep entry is
+//! reproducible by number.
+//!
+//! The harness contract (asserted in `tests/chaos_harness.rs`): under
+//! any generated plan, an elastic run either
+//!
+//! * **completes**, and — when the plan is
+//!   [world-preserving](ChaosPlan::world_preserving) — is bit-identical
+//!   (final params, losses, terminal checkpoint bytes) to an
+//!   uninterrupted run; or
+//! * **fails with a clean typed error** ([`crate::TrainError`],
+//!   including [`crate::TrainError::Timeout`] for silent peers).
+//!
+//! Never a deadlock, never a panic. Some fault classes only have a
+//! surface to hit under specific configuration — wire corruption needs
+//! a codec-framed collective, a hang needs a barrier deadline to be
+//! detectable — so [`ChaosPlan::apply`] rewrites the run's
+//! [`TrainConfig`] to guarantee every scheduled fault can actually
+//! fire (and that a hang cannot starve a bounded run-slot pool into a
+//! real deadlock).
+
+use crate::config::TrainConfig;
+use rand::prelude::*;
+use simgpu::{BarrierDeadline, DiskFault, DiskFaultPlan, FaultPlan, WireCodecId};
+use std::time::Duration;
+
+/// A deterministic, seed-derived composition of training, wire, and
+/// disk faults.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// The seed this plan was expanded from.
+    pub seed: u64,
+    /// Kills, stragglers, OOM caps, hangs, and wire corruption.
+    pub faults: FaultPlan,
+    /// Torn writes / bit flips / unlinks against checkpoint files.
+    pub disk: DiskFaultPlan,
+    /// World size the plan was generated for.
+    pub world: usize,
+    /// Total global steps of the run the plan targets.
+    pub total_steps: u64,
+    /// Human-readable one-liners, one per injected fault (for sweep
+    /// diagnostics: `seed 17: kill rank 2 at step 5; torn write ...`).
+    pub descriptions: Vec<String>,
+}
+
+impl ChaosPlan {
+    /// Expands `seed` into 1–3 composed faults for a `world`-rank run
+    /// of `total_steps` steps checkpointing every `ckpt_every` steps.
+    ///
+    /// Generation respects the stack's own constraints so every plan is
+    /// *survivable or cleanly fatal*, never degenerate:
+    ///
+    /// * at most `min(world − 1, 2)` world-shrinking faults (kills,
+    ///   OOM, wire corruption), so at least one rank always survives;
+    /// * at most one permanent kill and one hang per plan;
+    /// * kill/hang/corruption steps land inside the run (`1..total`);
+    /// * disk faults target steps the checkpoint cadence actually
+    ///   writes (multiples of `ckpt_every`).
+    pub fn from_seed(seed: u64, world: usize, total_steps: u64, ckpt_every: u64) -> Self {
+        assert!(world >= 2, "chaos needs at least two ranks");
+        assert!(total_steps >= 2, "chaos needs at least two steps");
+        let ckpt_every = ckpt_every.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = FaultPlan::none();
+        let mut disk = DiskFaultPlan::none();
+        let mut descriptions = Vec::new();
+
+        let n_faults = rng.gen_range(1..=3usize);
+        let mut shrink_budget = (world - 1).min(2);
+        let mut permanent_kills = 0usize;
+        let mut hangs = 0usize;
+
+        for _ in 0..n_faults {
+            let rank = rng.gen_range(0..world);
+            let step = rng.gen_range(1..total_steps) as usize;
+            // Steps the checkpoint cadence writes: a random multiple of
+            // `ckpt_every` that the run reaches.
+            let ckpt_slots = (total_steps / ckpt_every).max(1);
+            let ckpt_step = ckpt_every * rng.gen_range(1..=ckpt_slots);
+            match rng.gen_range(0..9u32) {
+                0 if shrink_budget > 0 && permanent_kills == 0 => {
+                    shrink_budget -= 1;
+                    permanent_kills += 1;
+                    faults = faults.kill_rank(rank, step);
+                    descriptions.push(format!("kill rank {rank} at step {step}"));
+                }
+                1 if shrink_budget > 0 => {
+                    shrink_budget -= 1;
+                    faults = faults.kill_rank_transient(rank, step);
+                    descriptions.push(format!("transient kill rank {rank} at step {step}"));
+                }
+                2 if shrink_budget > 0 => {
+                    shrink_budget -= 1;
+                    // Far below any real footprint, so the rank OOMs on
+                    // its first allocation.
+                    let bytes = rng.gen_range(1_000..100_000u64);
+                    faults = faults.limit_rank_memory(rank, bytes);
+                    descriptions.push(format!("cap rank {rank} memory at {bytes} B"));
+                }
+                3 if hangs == 0 => {
+                    hangs += 1;
+                    faults = faults.hang_rank(rank, step);
+                    descriptions.push(format!("hang rank {rank} at step {step}"));
+                }
+                4 if shrink_budget > 0 => {
+                    shrink_budget -= 1;
+                    faults = faults.corrupt_wire(rank, step);
+                    descriptions.push(format!("corrupt rank {rank}'s codec frame at step {step}"));
+                }
+                5 => {
+                    let keep = rng.gen_range(0..64usize);
+                    disk = disk.inject(rank, ckpt_step, DiskFault::TornWrite { keep });
+                    descriptions.push(format!(
+                        "tear rank {rank}'s checkpoint write at step {ckpt_step} to {keep} B"
+                    ));
+                }
+                6 => {
+                    let byte = rng.gen_range(0..4096usize);
+                    let bit = rng.gen_range(0..8u32) as u8;
+                    disk = disk.inject(rank, ckpt_step, DiskFault::BitFlip { byte, bit });
+                    descriptions.push(format!(
+                        "flip bit {bit} of byte {byte} in rank {rank}'s checkpoint at step {ckpt_step}"
+                    ));
+                }
+                7 => {
+                    disk = disk.inject(rank, ckpt_step, DiskFault::Unlink);
+                    descriptions.push(format!(
+                        "unlink rank {rank}'s checkpoint at step {ckpt_step}"
+                    ));
+                }
+                // 8, or a lethal draw with the budget spent: degrade to
+                // a straggler — always survivable, still adversarial.
+                _ => {
+                    let delay = Duration::from_micros(rng.gen_range(20..200u64));
+                    faults = faults.straggle(rank, delay);
+                    descriptions.push(format!("straggle rank {rank} by {delay:?}"));
+                }
+            }
+        }
+
+        Self {
+            seed,
+            faults,
+            disk,
+            world,
+            total_steps,
+            descriptions,
+        }
+    }
+
+    /// Rewrites `cfg` so every scheduled fault has a surface to hit:
+    ///
+    /// * wire corruption needs codec-framed collectives — force the
+    ///   lossless codec;
+    /// * a hang is only *detectable* via a barrier deadline — set one
+    ///   (generous enough that healthy rounds never trip it), and
+    ///   disable run-slot pooling, because a hung rank parked **inside**
+    ///   its run slot would starve peers out of the barrier entirely and
+    ///   turn a detectable hang into a true deadlock.
+    pub fn apply(&self, cfg: &mut TrainConfig) {
+        cfg.gpus = self.world;
+        if self.faults.has_wire_corruptions() {
+            cfg.comm.codec = WireCodecId::Lossless;
+        }
+        if self.faults.has_hangs() {
+            cfg.comm.deadline = Some(BarrierDeadline {
+                timeout: Duration::from_millis(25),
+                retries: 2,
+            });
+            cfg.comm.pool_workers = 0;
+        }
+    }
+
+    /// True when the plan schedules a hang: the run must end in
+    /// [`crate::TrainError::Timeout`] rather than completing (a silent
+    /// peer is unattributable, so elastic recovery cannot shrink around
+    /// it).
+    pub fn expects_timeout(&self) -> bool {
+        self.faults.has_hangs()
+    }
+
+    /// True when no scheduled fault can shrink the world: only
+    /// stragglers and disk faults (latent until a recovery reads them).
+    /// A *completed* run under a world-preserving plan must be
+    /// bit-identical to an uninterrupted run.
+    pub fn world_preserving(&self) -> bool {
+        !self.faults.has_hangs()
+            && !self.faults.has_wire_corruptions()
+            && (0..self.world).all(|r| {
+                !self.faults.should_die(r, usize::MAX) && self.faults.mem_limit(r).is_none()
+            })
+    }
+
+    /// One line per injected fault, joined for diagnostics.
+    pub fn describe(&self) -> String {
+        format!("seed {}: {}", self.seed, self.descriptions.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..64u64 {
+            let a = ChaosPlan::from_seed(seed, 4, 12, 2);
+            let b = ChaosPlan::from_seed(seed, 4, 12, 2);
+            assert_eq!(a.faults, b.faults, "seed {seed}");
+            assert_eq!(a.disk, b.disk, "seed {seed}");
+            assert_eq!(a.descriptions, b.descriptions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plans_stay_inside_the_run() {
+        for seed in 0..256u64 {
+            let p = ChaosPlan::from_seed(seed, 4, 12, 2);
+            assert!(!p.descriptions.is_empty(), "seed {seed} injected nothing");
+            if let Some(max) = p.faults.max_rank_targeted() {
+                assert!(max < 4, "seed {seed} targets rank {max} beyond world");
+            }
+            for (rank, step, _) in p.disk.entries() {
+                assert!(rank < 4, "seed {seed} disk fault beyond world");
+                assert!(
+                    step % 2 == 0 && (2..=12).contains(&step),
+                    "seed {seed} disk fault at step {step} the cadence never writes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_class() {
+        let mut saw_disk = false;
+        let mut saw_hang = false;
+        let mut saw_wire = false;
+        let mut saw_shrink = false;
+        for seed in 0..256u64 {
+            let p = ChaosPlan::from_seed(seed, 4, 12, 2);
+            saw_disk |= !p.disk.is_empty();
+            saw_hang |= p.faults.has_hangs();
+            saw_wire |= p.faults.has_wire_corruptions();
+            saw_shrink |= !p.world_preserving();
+        }
+        assert!(saw_disk && saw_hang && saw_wire && saw_shrink);
+    }
+
+    #[test]
+    fn apply_arms_the_config_for_scheduled_faults() {
+        let mut cfg = TrainConfig::default();
+        let hang = ChaosPlan {
+            seed: 0,
+            faults: FaultPlan::none().hang_rank(1, 3),
+            disk: DiskFaultPlan::none(),
+            world: 4,
+            total_steps: 12,
+            descriptions: vec![],
+        };
+        hang.apply(&mut cfg);
+        assert!(
+            cfg.comm.deadline.is_some(),
+            "hang without deadline deadlocks"
+        );
+        assert_eq!(cfg.comm.pool_workers, 0, "hang in a pooled slot deadlocks");
+        assert!(hang.expects_timeout());
+
+        let mut cfg = TrainConfig::default();
+        let wire = ChaosPlan {
+            seed: 0,
+            faults: FaultPlan::none().corrupt_wire(2, 5),
+            disk: DiskFaultPlan::none(),
+            world: 4,
+            total_steps: 12,
+            descriptions: vec![],
+        };
+        wire.apply(&mut cfg);
+        assert_eq!(cfg.comm.codec, WireCodecId::Lossless);
+        assert!(!wire.world_preserving());
+
+        let quiet = ChaosPlan {
+            seed: 0,
+            faults: FaultPlan::none().straggle(0, Duration::from_micros(50)),
+            disk: DiskFaultPlan::none().inject(1, 4, DiskFault::Unlink),
+            world: 4,
+            total_steps: 12,
+            descriptions: vec![],
+        };
+        assert!(quiet.world_preserving());
+        assert!(!quiet.expects_timeout());
+    }
+}

@@ -38,7 +38,7 @@ use crate::metrics::{EpochMetrics, TimeAttribution};
 use crate::seeding::SeedStrategy;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Serialization format version (bump on any layout change). Version 2
 /// split the attribution wire bucket into intra/inter-node tiers;
@@ -221,18 +221,38 @@ pub struct Checkpoint {
 }
 
 /// Why a serialized checkpoint was rejected.
+///
+/// The first five variants classify body-level damage and
+/// incompatibility; the last three classify what a *disk-backed* store
+/// finds at recovery time (see `crate::ckpt_disk`): a CRC mismatch from
+/// post-write bit rot, a manifested file that vanished, or a raw
+/// filesystem failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// The buffer does not start with [`MAGIC`].
+    /// The buffer does not start with [`MAGIC`] (or, for a framed
+    /// on-disk file, the frame header magic is wrong).
     BadMagic,
-    /// Unknown format version.
+    /// Unknown format version (checkpoint body or on-disk frame).
     BadVersion(u32),
-    /// The buffer ended before the declared content did.
+    /// The buffer ended before the declared content did — the on-disk
+    /// signature of a torn write.
     Truncated,
     /// Bytes remained after the declared content.
     TrailingBytes(usize),
     /// The checkpoint does not belong to this run configuration.
     Incompatible(String),
+    /// The framed file's CRC-32 does not cover its payload: at least
+    /// one bit rotted after the write completed.
+    BadCrc {
+        /// CRC recorded in the frame header at write time.
+        expected: u32,
+        /// CRC recomputed over the payload as read back.
+        found: u32,
+    },
+    /// The rank's manifest lists this step but the file is gone.
+    Missing,
+    /// The underlying filesystem operation failed.
+    Io(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -252,6 +272,14 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Incompatible(why) => {
                 write!(f, "checkpoint incompatible with this run: {why}")
             }
+            CheckpointError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint CRC mismatch: frame says {expected:#010x}, payload hashes to {found:#010x}"
+                )
+            }
+            CheckpointError::Missing => write!(f, "manifested checkpoint file is missing"),
+            CheckpointError::Io(why) => write!(f, "checkpoint I/O failed: {why}"),
         }
     }
 }
@@ -546,32 +574,164 @@ impl Checkpoint {
     }
 }
 
-/// In-memory checkpoint service shared by all ranks of one run (and
-/// read by the elastic driver across runs).
+/// Where checkpoints physically live. [`CheckpointStore`] is generic
+/// over this trait, so the trainer and the elastic driver accept the
+/// in-memory [`MemoryBackend`] and the disk-backed
+/// [`crate::ckpt_disk::CheckpointDir`] interchangeably.
 ///
-/// Each rank deposits into its own slot, retaining the newest
-/// `keep_last` snapshots. The store also keeps a lock-free *progress
-/// board* — the highest global step each rank has completed — so the
-/// recovery driver can report exactly how many steps a failure cost
-/// beyond the restored cut.
+/// Contract: `deposit` retains at most [`CheckpointBackend::keep_last`]
+/// snapshots per rank (oldest evicted); `steps` reports what the
+/// backend *believes* it holds (for a durable backend a listed step may
+/// still fail to `load` — that is exactly what the recovery scan
+/// classifies); `load` integrity-checks before returning.
+pub trait CheckpointBackend: Send + Sync + fmt::Debug {
+    /// Persist `ck` into its rank's slot, evicting the oldest snapshot
+    /// beyond the retention limit. Snapshots arrive in increasing step
+    /// order per rank (one depositor thread per rank).
+    fn deposit(&self, ck: Checkpoint) -> Result<(), CheckpointError>;
+
+    /// The steps this backend holds for `rank`, ascending and deduped.
+    fn steps(&self, rank: usize) -> Vec<u64>;
+
+    /// Load and integrity-check `rank`'s snapshot at `step`.
+    fn load(&self, rank: usize, step: u64) -> Result<Checkpoint, CheckpointError>;
+
+    /// Store the end-of-run snapshot (rank 0 deposits it on successful
+    /// completion — the bit-exact final state of the whole run).
+    fn set_final(&self, ck: Checkpoint) -> Result<(), CheckpointError>;
+
+    /// Take the end-of-run snapshot, if the run completed.
+    fn take_final(&self) -> Result<Option<Checkpoint>, CheckpointError>;
+
+    /// Per-rank retention limit.
+    fn keep_last(&self) -> usize;
+}
+
+/// The in-memory [`CheckpointBackend`]: checkpoints live in rank slots
+/// behind a mutex and die with the process — the pre-durability
+/// behaviour, still the default for tests and single-run training.
 #[derive(Debug)]
-pub struct CheckpointStore {
+pub struct MemoryBackend {
     keep_last: usize,
-    slots: Mutex<Vec<Vec<Checkpoint>>>,
-    progress: Vec<AtomicU64>,
+    slots: Mutex<std::collections::BTreeMap<usize, Vec<Checkpoint>>>,
     final_slot: Mutex<Option<Checkpoint>>,
 }
 
-impl CheckpointStore {
-    /// A store for a run of `world` ranks, each retaining the newest
-    /// `keep_last` snapshots (clamped to at least 1).
-    pub fn new(world: usize, keep_last: usize) -> Self {
+impl MemoryBackend {
+    /// A backend retaining the newest `keep_last` snapshots per rank
+    /// (clamped to at least 1).
+    pub fn new(keep_last: usize) -> Self {
         Self {
             keep_last: keep_last.max(1),
-            slots: Mutex::new(vec![Vec::new(); world]),
-            progress: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            slots: Mutex::new(std::collections::BTreeMap::new()),
             final_slot: Mutex::new(None),
         }
+    }
+}
+
+impl CheckpointBackend for MemoryBackend {
+    fn deposit(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        let mut slots = self.slots.lock().unwrap();
+        let slot = slots.entry(ck.rank as usize).or_default();
+        debug_assert!(slot.last().is_none_or(|prev| prev.step < ck.step));
+        slot.push(ck);
+        if slot.len() > self.keep_last {
+            slot.remove(0);
+        }
+        Ok(())
+    }
+
+    fn steps(&self, rank: usize) -> Vec<u64> {
+        self.slots
+            .lock()
+            .unwrap()
+            .get(&rank)
+            .map(|slot| slot.iter().map(|c| c.step).collect())
+            .unwrap_or_default()
+    }
+
+    fn load(&self, rank: usize, step: u64) -> Result<Checkpoint, CheckpointError> {
+        self.slots
+            .lock()
+            .unwrap()
+            .get(&rank)
+            .and_then(|slot| slot.iter().find(|c| c.step == step))
+            .cloned()
+            .ok_or(CheckpointError::Missing)
+    }
+
+    fn set_final(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        *self.final_slot.lock().unwrap() = Some(ck);
+        Ok(())
+    }
+
+    fn take_final(&self) -> Result<Option<Checkpoint>, CheckpointError> {
+        Ok(self.final_slot.lock().unwrap().take())
+    }
+
+    fn keep_last(&self) -> usize {
+        self.keep_last
+    }
+}
+
+/// One damaged checkpoint copy found by [`CheckpointStore::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptCheckpoint {
+    /// Rank whose copy is damaged.
+    pub rank: usize,
+    /// Step of the damaged copy.
+    pub step: u64,
+    /// What the integrity check found.
+    pub error: CheckpointError,
+}
+
+/// Result of a recovery scan: the best intact consistent snapshot (if
+/// any) plus every damaged copy the scan stepped over to find it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryScan {
+    /// The newest snapshot every survivor holds an *intact* copy of.
+    pub checkpoint: Option<Checkpoint>,
+    /// Copies that failed their integrity check, newest step first.
+    pub corrupt: Vec<CorruptCheckpoint>,
+}
+
+/// Checkpoint service shared by all ranks of one run (and read by the
+/// elastic driver across runs), backed by a pluggable
+/// [`CheckpointBackend`].
+///
+/// The store itself owns only the run-scoped state: a lock-free
+/// *progress board* — the highest global step each rank has completed —
+/// so the recovery driver can report exactly how many steps a failure
+/// cost beyond the restored cut. Everything persistent delegates to the
+/// backend, which may outlive the store (a disk directory spans every
+/// elastic round of a run, and the serving milestone loads the same
+/// files).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    backend: Arc<dyn CheckpointBackend>,
+    progress: Vec<AtomicU64>,
+}
+
+impl CheckpointStore {
+    /// An in-memory store for a run of `world` ranks, each retaining
+    /// the newest `keep_last` snapshots (clamped to at least 1).
+    pub fn new(world: usize, keep_last: usize) -> Self {
+        Self::with_backend(world, Arc::new(MemoryBackend::new(keep_last)))
+    }
+
+    /// A store for `world` ranks over an existing backend — the durable
+    /// entry point: hand the same `Arc<CheckpointDir>` to every elastic
+    /// round and recovery reads the files the previous round wrote.
+    pub fn with_backend(world: usize, backend: Arc<dyn CheckpointBackend>) -> Self {
+        Self {
+            backend,
+            progress: (0..world).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The shared backend.
+    pub fn backend(&self) -> Arc<dyn CheckpointBackend> {
+        Arc::clone(&self.backend)
     }
 
     /// Number of rank slots.
@@ -579,17 +739,12 @@ impl CheckpointStore {
         self.progress.len()
     }
 
-    /// Deposits `ck` into its rank's slot, evicting the oldest snapshot
-    /// beyond the retention limit. Snapshots must arrive in increasing
-    /// step order per rank (they do: one depositor thread per rank).
-    pub fn deposit(&self, ck: Checkpoint) {
-        let mut slots = self.slots.lock().unwrap();
-        let slot = &mut slots[ck.rank as usize];
-        debug_assert!(slot.last().is_none_or(|prev| prev.step < ck.step));
-        slot.push(ck);
-        if slot.len() > self.keep_last {
-            slot.remove(0);
-        }
+    /// Deposits `ck` into its rank's slot via the backend. An `Err`
+    /// here is a *real* storage failure the caller must surface;
+    /// injected disk faults deliberately return `Ok` (the damage is
+    /// what the recovery scan later classifies).
+    pub fn deposit(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        self.backend.deposit(ck)
     }
 
     /// Records that `rank` has completed `steps_done` global steps.
@@ -607,49 +762,104 @@ impl CheckpointStore {
             .unwrap_or(0)
     }
 
-    /// The newest snapshot **every** survivor holds — the consistent
-    /// cut recovery can restore from. Returns rank 0's copy when rank 0
-    /// survived (it alone carries the completed-epoch validation
-    /// history), otherwise the lowest survivor's. `None` when no common
-    /// step exists (e.g. checkpointing was off).
+    /// The newest snapshot **every** survivor holds an intact copy of —
+    /// the consistent cut recovery can restore from, skipping damaged
+    /// steps. See [`CheckpointStore::scan`] for the classifying variant.
     pub fn latest_consistent(&self, survivors: &[usize]) -> Option<Checkpoint> {
-        let slots = self.slots.lock().unwrap();
-        let common_step = survivors
-            .iter()
-            .map(|&r| {
-                slots[r]
-                    .iter()
-                    .map(|c| c.step)
-                    .collect::<std::collections::BTreeSet<u64>>()
-            })
-            .reduce(|a, b| a.intersection(&b).copied().collect())?
-            .into_iter()
-            .next_back()?;
-        let &source = survivors
-            .iter()
-            .find(|&&r| r == 0)
-            .or_else(|| survivors.first())?;
-        slots[source]
-            .iter()
-            .find(|c| c.step == common_step)
-            .cloned()
+        self.scan(survivors).checkpoint
     }
 
-    /// All snapshots currently retained for `rank` (oldest first) —
-    /// used by tests to compare runs checkpoint-by-checkpoint.
+    /// Recovery scan: walk the steps all `survivors` claim to hold,
+    /// newest first; at each candidate step integrity-check **every**
+    /// survivor's copy, recording each torn / bit-flipped / missing
+    /// file as a typed [`CorruptCheckpoint`]; return the first step
+    /// where all copies are intact. The returned snapshot is rank 0's
+    /// copy when rank 0 survived (it alone carries the completed-epoch
+    /// validation history), otherwise the lowest survivor's. The scan
+    /// never panics on damage — the worst outcome is
+    /// `checkpoint: None` (restart from scratch).
+    pub fn scan(&self, survivors: &[usize]) -> RecoveryScan {
+        let mut corrupt = Vec::new();
+        let Some(common) = survivors
+            .iter()
+            .map(|&r| {
+                self.backend
+                    .steps(r)
+                    .into_iter()
+                    .collect::<std::collections::BTreeSet<u64>>()
+            })
+            .reduce(|a, b| a.intersection(&b).copied().collect())
+        else {
+            return RecoveryScan::default();
+        };
+        let source = survivors
+            .iter()
+            .find(|&&r| r == 0)
+            .or_else(|| survivors.first())
+            .copied();
+        for &step in common.iter().rev() {
+            let mut restored = None;
+            let mut intact = true;
+            for &r in survivors {
+                match self.backend.load(r, step) {
+                    Ok(ck) => {
+                        // A durable directory outlives world shrinks:
+                        // snapshots written by a *previous* incarnation
+                        // (different world size) are stale, not corrupt
+                        // — skip the step without recording damage,
+                        // exactly as a per-round memory store would
+                        // never have seen them.
+                        if ck.world as usize != self.progress.len() {
+                            intact = false;
+                            continue;
+                        }
+                        if Some(r) == source {
+                            restored = Some(ck);
+                        }
+                    }
+                    Err(error) => {
+                        intact = false;
+                        corrupt.push(CorruptCheckpoint {
+                            rank: r,
+                            step,
+                            error,
+                        });
+                    }
+                }
+            }
+            if intact {
+                return RecoveryScan {
+                    checkpoint: restored,
+                    corrupt,
+                };
+            }
+        }
+        RecoveryScan {
+            checkpoint: None,
+            corrupt,
+        }
+    }
+
+    /// All intact snapshots currently retained for `rank` (oldest
+    /// first) — used by tests to compare runs checkpoint-by-checkpoint.
     pub fn deposited(&self, rank: usize) -> Vec<Checkpoint> {
-        self.slots.lock().unwrap()[rank].clone()
+        self.backend
+            .steps(rank)
+            .into_iter()
+            .filter_map(|step| self.backend.load(rank, step).ok())
+            .collect()
     }
 
     /// Stores the end-of-run snapshot (rank 0 deposits it on successful
     /// completion — the bit-exact final state of the whole run).
-    pub fn set_final(&self, ck: Checkpoint) {
-        *self.final_slot.lock().unwrap() = Some(ck);
+    pub fn set_final(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        self.backend.set_final(ck)
     }
 
-    /// Takes the end-of-run snapshot, if the run completed.
+    /// Takes the end-of-run snapshot, if the run completed intact (a
+    /// damaged terminal file reads as "no terminal snapshot").
     pub fn take_final(&self) -> Option<Checkpoint> {
-        self.final_slot.lock().unwrap().take()
+        self.backend.take_final().ok().flatten()
     }
 }
 
@@ -813,7 +1023,7 @@ mod tests {
     fn store_retains_keep_last_and_tracks_progress() {
         let store = CheckpointStore::new(2, 2);
         for step in [1, 2, 3] {
-            store.deposit(sample_checkpoint(0, step));
+            store.deposit(sample_checkpoint(0, step)).unwrap();
         }
         let kept = store.deposited(0);
         assert_eq!(
@@ -829,14 +1039,16 @@ mod tests {
 
     #[test]
     fn latest_consistent_is_highest_common_step() {
-        let store = CheckpointStore::new(3, 8);
+        // World 4 to match the sample snapshots (the scan skips
+        // snapshots from a different world size as stale).
+        let store = CheckpointStore::new(4, 8);
         // Rank 0 holds steps {2, 4, 6}; rank 1 {2, 4}; rank 2 {2, 4, 6}.
         for step in [2, 4, 6] {
-            store.deposit(sample_checkpoint(0, step));
-            store.deposit(sample_checkpoint(2, step));
+            store.deposit(sample_checkpoint(0, step)).unwrap();
+            store.deposit(sample_checkpoint(2, step)).unwrap();
         }
         for step in [2, 4] {
-            store.deposit(sample_checkpoint(1, step));
+            store.deposit(sample_checkpoint(1, step)).unwrap();
         }
         let all = store.latest_consistent(&[0, 1, 2]).unwrap();
         assert_eq!((all.step, all.rank), (4, 0), "rank 0's copy preferred");
@@ -846,15 +1058,39 @@ mod tests {
         assert_eq!(fast_pair.step, 6);
         // Empty slot ⇒ no consistent cut.
         let empty = CheckpointStore::new(2, 2);
-        empty.deposit(sample_checkpoint(0, 2));
+        empty.deposit(sample_checkpoint(0, 2)).unwrap();
         assert!(empty.latest_consistent(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn scan_skips_stale_world_snapshots_without_flagging_corruption() {
+        // A durable directory shared across a shrink: old-world (4)
+        // snapshots linger under the same rank slots the new world (2)
+        // deposits into. The scan must treat them as stale — skipped,
+        // not corrupt — and restore only a current-world cut.
+        let backend = Arc::new(MemoryBackend::new(8));
+        let old = CheckpointStore::with_backend(4, Arc::clone(&backend) as _);
+        for rank in 0..2 {
+            old.deposit(sample_checkpoint(rank, 6)).unwrap();
+        }
+        let new = CheckpointStore::with_backend(2, Arc::clone(&backend) as _);
+        let scan = new.scan(&[0, 1]);
+        assert_eq!(scan.checkpoint, None, "stale world-4 cut not restored");
+        assert!(scan.corrupt.is_empty(), "stale is not corrupt");
+        // Once the new world deposits, its own cut wins.
+        for rank in 0..2 {
+            let mut ck = sample_checkpoint(rank, 8);
+            ck.world = 2;
+            new.deposit(ck).unwrap();
+        }
+        assert_eq!(new.latest_consistent(&[0, 1]).map(|c| c.step), Some(8));
     }
 
     #[test]
     fn final_slot_round_trips() {
         let store = CheckpointStore::new(1, 1);
         assert!(store.take_final().is_none());
-        store.set_final(sample_checkpoint(0, 40));
+        store.set_final(sample_checkpoint(0, 40)).unwrap();
         let fin = store.take_final().unwrap();
         assert_eq!(fin.step, 40);
         assert!(store.take_final().is_none(), "take consumes");

@@ -1,0 +1,580 @@
+//! Disk-backed checkpoint storage: CRC-framed files, atomic renames,
+//! per-rank manifests, and a fault hook for chaos testing.
+//!
+//! [`CheckpointDir`] is the durable [`CheckpointBackend`]: checkpoints
+//! survive the process, every elastic round of a run shares one
+//! directory, and the on-disk format is the deploy artifact the
+//! serving milestone loads. The layout is deliberately boring:
+//!
+//! ```text
+//! <root>/
+//!   rank0/
+//!     MANIFEST              # text, one retained step per line
+//!     step00000000000000000004.ckpt
+//!     step00000000000000000008.ckpt
+//!   rank1/ ...
+//!   FINAL.ckpt              # terminal snapshot (rank 0's final state)
+//! ```
+//!
+//! Each `.ckpt` file is a **v1 frame** around the versioned
+//! [`Checkpoint::to_bytes`] payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     frame magic  "ZLMFRAME"
+//! 8       4     frame version, u32 LE (currently 1)
+//! 12      8     payload length, u64 LE
+//! 20      4     CRC-32 (IEEE) of the payload, u32 LE
+//! 24      n     payload = Checkpoint::to_bytes()
+//! ```
+//!
+//! Writes go through a temp file in the same directory followed by
+//! `rename` — on POSIX filesystems the destination is therefore always
+//! either the old complete file or the new complete file, never a
+//! half-written hybrid. The *interesting* failure modes are injected,
+//! not accidental: a [`DiskFaultPlan`] can tear a write at byte `k`,
+//! flip a bit after the write, or unlink the file, and the recovery
+//! scan ([`crate::CheckpointStore::scan`]) must classify each into the
+//! matching typed [`CheckpointError`]:
+//!
+//! | fault                   | classified as                       |
+//! |-------------------------|-------------------------------------|
+//! | torn write (short file) | [`CheckpointError::Truncated`]      |
+//! | post-write bit flip     | [`CheckpointError::BadCrc`] (body) or `BadMagic`/`BadVersion`/`Truncated` (header) |
+//! | unlink                  | [`CheckpointError::Missing`]        |
+//! | real filesystem failure | [`CheckpointError::Io`]             |
+//!
+//! Injected faults deliberately return `Ok` from `deposit` — a crash
+//! does not announce itself at write time; the damage is discovered
+//! (and skipped past) by the recovery scan.
+
+use crate::checkpoint::{Checkpoint, CheckpointBackend, CheckpointError};
+use simgpu::{DiskFault, DiskFaultPlan};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic header of framed on-disk checkpoint files.
+pub const FRAME_MAGIC: [u8; 8] = *b"ZLMFRAME";
+
+/// On-disk frame format version (the *frame*, not the checkpoint body —
+/// the body carries its own version inside the payload).
+pub const FRAME_VERSION: u32 = 1;
+
+/// Frame header length in bytes: magic + version + payload len + CRC.
+pub const FRAME_HEADER_LEN: usize = 8 + 4 + 8 + 4;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data` — the same
+/// checksum gzip and PNG use, implemented here so the store needs no
+/// dependency. Guaranteed to detect every single-bit flip (proptested
+/// in `tests/durable_store.rs`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wraps a serialized checkpoint body in the v1 on-disk frame.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the v1 frame around `bytes` and returns the payload slice.
+///
+/// Classification order mirrors how damage manifests: a file shorter
+/// than the header or the declared payload is `Truncated` (torn write);
+/// wrong magic / unknown frame version is header rot; surplus bytes are
+/// `TrailingBytes`; a CRC mismatch over a complete file is payload rot.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        // Too short to even read the header — but a damaged magic in
+        // what bytes *are* there is still worth classifying as rot.
+        if bytes.len() >= 8 && bytes[..8] != FRAME_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..8] != FRAME_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FRAME_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let expected = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if body.len() < payload_len {
+        return Err(CheckpointError::Truncated);
+    }
+    if body.len() > payload_len {
+        return Err(CheckpointError::TrailingBytes(body.len() - payload_len));
+    }
+    let found = crc32(body);
+    if found != expected {
+        return Err(CheckpointError::BadCrc { expected, found });
+    }
+    Ok(body)
+}
+
+fn io_err(e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io(e.to_string())
+}
+
+/// The durable, disk-backed [`CheckpointBackend`].
+///
+/// Thread-safe: ranks deposit concurrently into disjoint per-rank
+/// subdirectories; only the injected-fault schedule and the terminal
+/// slot share a lock. The directory outlives any single
+/// [`crate::CheckpointStore`] — hand the same `Arc<CheckpointDir>` to
+/// every elastic round and recovery reads what earlier rounds wrote.
+#[derive(Debug)]
+pub struct CheckpointDir {
+    root: PathBuf,
+    keep_last: usize,
+    faults: Mutex<DiskFaultPlan>,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory retaining the
+    /// newest `keep_last` snapshots per rank (clamped to at least 1).
+    pub fn open(root: impl Into<PathBuf>, keep_last: usize) -> Result<Self, CheckpointError> {
+        Self::open_with_faults(root, keep_last, DiskFaultPlan::none())
+    }
+
+    /// [`CheckpointDir::open`] with an injected-fault schedule: each
+    /// `(rank, step)` entry damages exactly one checkpoint write, then
+    /// is consumed.
+    pub fn open_with_faults(
+        root: impl Into<PathBuf>,
+        keep_last: usize,
+        faults: DiskFaultPlan,
+    ) -> Result<Self, CheckpointError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(Self {
+            root,
+            keep_last: keep_last.max(1),
+            faults: Mutex::new(faults),
+        })
+    }
+
+    /// The directory all checkpoints live under.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    fn rank_dir(&self, rank: usize) -> PathBuf {
+        self.root.join(format!("rank{rank}"))
+    }
+
+    fn step_file(&self, rank: usize, step: u64) -> PathBuf {
+        self.rank_dir(rank).join(format!("step{step:020}.ckpt"))
+    }
+
+    fn manifest_file(&self, rank: usize) -> PathBuf {
+        self.rank_dir(rank).join("MANIFEST")
+    }
+
+    fn final_file(&self) -> PathBuf {
+        self.root.join("FINAL.ckpt")
+    }
+
+    /// Writes `bytes` to `dest` via a same-directory temp file and an
+    /// atomic rename, so `dest` is never observed half-written.
+    fn write_atomic(dest: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let dir = dest.parent().ok_or(CheckpointError::Missing)?;
+        let name = dest.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt");
+        let tmp = dir.join(format!(".tmp-{name}"));
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        fs::rename(&tmp, dest).map_err(io_err)
+    }
+
+    /// Frames, damages (if scheduled), and lands one checkpoint file.
+    fn write_framed(
+        &self,
+        dest: &Path,
+        payload: &[u8],
+        rank: usize,
+        step: u64,
+    ) -> Result<(), CheckpointError> {
+        let mut framed = frame_payload(payload);
+        let fault = self.faults.lock().unwrap().take(rank, step);
+        match fault {
+            None => Self::write_atomic(dest, &framed),
+            Some(DiskFault::TornWrite { keep }) => {
+                // The crash happened mid-write: only the first `keep`
+                // bytes reach the disk. The rename still lands so the
+                // recovery scan sees (and classifies) the torn file.
+                framed.truncate(keep.min(framed.len()));
+                Self::write_atomic(dest, &framed)
+            }
+            Some(DiskFault::BitFlip { byte, bit }) => {
+                // Bit rot after a complete write: the CRC in the header
+                // was computed over the healthy payload, so the flip is
+                // detectable wherever it lands.
+                if !framed.is_empty() {
+                    let idx = byte % framed.len();
+                    framed[idx] ^= 1 << (bit % 8);
+                }
+                Self::write_atomic(dest, &framed)
+            }
+            Some(DiskFault::Unlink) => {
+                // The file vanishes after the write; the manifest entry
+                // (written by the caller) survives to tell the tale.
+                Self::write_atomic(dest, &framed)?;
+                fs::remove_file(dest).map_err(io_err)
+            }
+        }
+    }
+
+    /// Reads the manifest for `rank`: ascending, deduped. A missing
+    /// manifest means no checkpoints (a rank that never deposited).
+    fn manifest_steps(&self, rank: usize) -> Result<Vec<u64>, CheckpointError> {
+        let text = match fs::read_to_string(self.manifest_file(rank)) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut steps: Vec<u64> = text.lines().filter_map(|l| l.trim().parse().ok()).collect();
+        steps.sort_unstable();
+        steps.dedup();
+        Ok(steps)
+    }
+
+    fn write_manifest(&self, rank: usize, steps: &[u64]) -> Result<(), CheckpointError> {
+        let mut text = String::new();
+        for s in steps {
+            text.push_str(&s.to_string());
+            text.push('\n');
+        }
+        Self::write_atomic(&self.manifest_file(rank), text.as_bytes())
+    }
+}
+
+impl CheckpointBackend for CheckpointDir {
+    fn deposit(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        let rank = ck.rank as usize;
+        let step = ck.step;
+        fs::create_dir_all(self.rank_dir(rank)).map_err(io_err)?;
+        self.write_framed(&self.step_file(rank, step), &ck.to_bytes(), rank, step)?;
+        // Manifest + retention: record the new step, prune beyond
+        // keep_last (oldest first), and rewrite the manifest atomically
+        // so it always lists exactly the retained set.
+        let mut steps = self.manifest_steps(rank)?;
+        if steps.last() != Some(&step) {
+            steps.push(step);
+            steps.sort_unstable();
+            steps.dedup();
+        }
+        while steps.len() > self.keep_last {
+            let old = steps.remove(0);
+            match fs::remove_file(self.step_file(rank, old)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        self.write_manifest(rank, &steps)
+    }
+
+    fn steps(&self, rank: usize) -> Vec<u64> {
+        // A manifest that cannot be read contributes no steps — the
+        // scan then reports no consistent cut instead of panicking.
+        self.manifest_steps(rank).unwrap_or_default()
+    }
+
+    fn load(&self, rank: usize, step: u64) -> Result<Checkpoint, CheckpointError> {
+        let path = self.step_file(rank, step);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(CheckpointError::Missing)
+            }
+            Err(e) => return Err(io_err(e)),
+        };
+        Checkpoint::from_bytes(unframe(&bytes)?)
+    }
+
+    fn set_final(&self, ck: Checkpoint) -> Result<(), CheckpointError> {
+        let (rank, step) = (ck.rank as usize, ck.step);
+        self.write_framed(&self.final_file(), &ck.to_bytes(), rank, step)
+    }
+
+    fn take_final(&self) -> Result<Option<Checkpoint>, CheckpointError> {
+        let path = self.final_file();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(e)),
+        };
+        let ck = Checkpoint::from_bytes(unframe(&bytes)?)?;
+        fs::remove_file(&path).map_err(io_err)?;
+        Ok(Some(ck))
+    }
+
+    fn keep_last(&self) -> usize {
+        self.keep_last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CheckpointMetrics, CheckpointStore, Fingerprint};
+    use crate::config::TrainConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// RAII temp directory (no tempfile dependency): unique per test
+    /// via pid + counter, removed on drop.
+    pub(crate) struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("zlm-ckpt-{tag}-{}-{n}", std::process::id()));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        pub(crate) fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample(rank: u32, step: u64) -> Checkpoint {
+        Checkpoint {
+            world: 4,
+            rank,
+            step,
+            epoch: 0,
+            step_in_epoch: step,
+            lr: 0.5,
+            fingerprint: Fingerprint::of(&TrainConfig::default(), 997),
+            params: vec![1.0, -2.5, f32::NAN, 1e-30],
+            metrics: CheckpointMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frame_round_trip_and_header_classification() {
+        let payload = sample(0, 7).to_bytes();
+        let framed = frame_payload(&payload);
+        assert_eq!(unframe(&framed).unwrap(), &payload[..]);
+        // Torn anywhere → Truncated (or BadMagic if the magic itself is cut).
+        assert_eq!(unframe(&framed[..3]), Err(CheckpointError::Truncated));
+        assert_eq!(
+            unframe(&framed[..FRAME_HEADER_LEN + 5]),
+            Err(CheckpointError::Truncated)
+        );
+        // Wrong magic.
+        let mut bad = framed.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(unframe(&bad), Err(CheckpointError::BadMagic));
+        // Unknown frame version.
+        let mut v9 = framed.clone();
+        v9[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(unframe(&v9), Err(CheckpointError::BadVersion(9)));
+        // Trailing garbage.
+        let mut long = framed.clone();
+        long.push(0);
+        assert_eq!(unframe(&long), Err(CheckpointError::TrailingBytes(1)));
+        // Payload rot → BadCrc naming both sums.
+        let mut rot = framed.clone();
+        *rot.last_mut().unwrap() ^= 0x10;
+        match unframe(&rot) {
+            Err(CheckpointError::BadCrc { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deposit_load_round_trips_bytes() {
+        let tmp = TempDir::new("roundtrip");
+        let dir = CheckpointDir::open(tmp.path(), 4).unwrap();
+        let ck = sample(1, 12);
+        let bytes = ck.to_bytes();
+        dir.deposit(ck).unwrap();
+        assert_eq!(dir.steps(1), vec![12]);
+        assert_eq!(dir.load(1, 12).unwrap().to_bytes(), bytes);
+        assert_eq!(dir.load(1, 13), Err(CheckpointError::Missing));
+        assert_eq!(dir.load(0, 12), Err(CheckpointError::Missing));
+    }
+
+    #[test]
+    fn retention_prunes_files_and_manifest() {
+        let tmp = TempDir::new("retention");
+        let dir = CheckpointDir::open(tmp.path(), 2).unwrap();
+        for step in [2, 4, 6, 8] {
+            dir.deposit(sample(0, step)).unwrap();
+        }
+        assert_eq!(dir.steps(0), vec![6, 8]);
+        assert!(!dir.step_file(0, 2).exists(), "pruned file removed");
+        assert!(dir.step_file(0, 8).exists());
+        // No temp litter.
+        let stray: Vec<_> = fs::read_dir(dir.rank_dir(0))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+    }
+
+    #[test]
+    fn injected_faults_classify_at_recovery_time() {
+        let tmp = TempDir::new("faults");
+        let faults = DiskFaultPlan::none()
+            .inject(0, 4, DiskFault::TornWrite { keep: 10 })
+            .inject(1, 4, DiskFault::BitFlip { byte: 40, bit: 3 })
+            .inject(2, 4, DiskFault::Unlink);
+        let dir = CheckpointDir::open_with_faults(tmp.path(), 4, faults).unwrap();
+        for rank in 0..4 {
+            // Deposits report Ok: damage is latent until the scan.
+            dir.deposit(sample(rank, 4)).unwrap();
+        }
+        assert_eq!(dir.load(0, 4), Err(CheckpointError::Truncated));
+        assert!(matches!(
+            dir.load(1, 4),
+            Err(CheckpointError::BadCrc { .. })
+        ));
+        assert_eq!(dir.load(2, 4), Err(CheckpointError::Missing));
+        assert!(dir.load(3, 4).is_ok(), "unfaulted rank is intact");
+        // Every manifest still lists the step — that is how the scan
+        // knows rank 2's copy is missing rather than never written.
+        for rank in 0..4 {
+            assert_eq!(dir.steps(rank), vec![4]);
+        }
+    }
+
+    #[test]
+    fn faults_are_one_shot_per_rank_step() {
+        let tmp = TempDir::new("oneshot");
+        let faults = DiskFaultPlan::none().inject(0, 2, DiskFault::Unlink);
+        let dir = CheckpointDir::open_with_faults(tmp.path(), 4, faults).unwrap();
+        dir.deposit(sample(0, 2)).unwrap();
+        assert_eq!(dir.load(0, 2), Err(CheckpointError::Missing));
+        // The same write replayed after recovery lands clean.
+        dir.deposit(sample(0, 2)).unwrap();
+        assert!(dir.load(0, 2).is_ok());
+    }
+
+    #[test]
+    fn scan_skips_damaged_steps_to_best_intact_cut() {
+        let tmp = TempDir::new("scan");
+        let faults = DiskFaultPlan::none()
+            .inject(1, 8, DiskFault::BitFlip { byte: 33, bit: 0 })
+            .inject(2, 6, DiskFault::TornWrite { keep: 5 });
+        let backend = Arc::new(CheckpointDir::open_with_faults(tmp.path(), 8, faults).unwrap());
+        // World 4 to match the sample snapshots; ranks 0..3 deposit.
+        let store = CheckpointStore::with_backend(4, backend);
+        for step in [2, 4, 6, 8] {
+            for rank in 0..3 {
+                store.deposit(sample(rank, step)).unwrap();
+            }
+        }
+        // Step 8 is rotted on rank 1, step 6 torn on rank 2 → best
+        // fully-intact consistent cut is step 4.
+        let scan = store.scan(&[0, 1, 2]);
+        assert_eq!(scan.checkpoint.as_ref().map(|c| c.step), Some(4));
+        assert_eq!(
+            scan.corrupt
+                .iter()
+                .map(|c| (c.rank, c.step))
+                .collect::<Vec<_>>(),
+            vec![(1, 8), (2, 6)],
+            "both damaged copies classified, newest first"
+        );
+        assert!(matches!(
+            scan.corrupt[0].error,
+            CheckpointError::BadCrc { .. }
+        ));
+        assert_eq!(scan.corrupt[1].error, CheckpointError::Truncated);
+        // Excluding the damaged ranks restores the newest step again.
+        assert_eq!(store.latest_consistent(&[0]).map(|c| c.step), Some(8));
+    }
+
+    #[test]
+    fn final_slot_survives_on_disk_and_take_consumes() {
+        let tmp = TempDir::new("final");
+        let dir = CheckpointDir::open(tmp.path(), 2).unwrap();
+        assert_eq!(dir.take_final().unwrap(), None);
+        let fin = sample(0, 40);
+        let bytes = fin.to_bytes();
+        dir.set_final(fin).unwrap();
+        // A second handle onto the same directory sees the final
+        // snapshot — it survived the "process" that wrote it.
+        let reopened = CheckpointDir::open(tmp.path(), 2).unwrap();
+        assert_eq!(reopened.take_final().unwrap().unwrap().to_bytes(), bytes);
+        assert_eq!(dir.take_final().unwrap(), None, "take consumes");
+    }
+
+    #[test]
+    fn directory_restores_across_store_instances() {
+        let tmp = TempDir::new("reuse");
+        let backend = Arc::new(CheckpointDir::open(tmp.path(), 4).unwrap());
+        let round1 = CheckpointStore::with_backend(4, Arc::clone(&backend) as _);
+        for rank in 0..2 {
+            round1.deposit(sample(rank, 6)).unwrap();
+        }
+        drop(round1);
+        // A fresh store over the same directory — the elastic driver's
+        // next round — restores what the previous round persisted.
+        let round2 = CheckpointStore::with_backend(4, backend as _);
+        assert_eq!(round2.latest_consistent(&[0, 1]).map(|c| c.step), Some(6));
+    }
+}

@@ -358,6 +358,12 @@ pub struct CommConfig {
     /// already its own (lossy) format, so the gradient codec then steps
     /// aside while the index codec keeps applying.
     pub codec: simgpu::WireCodecId,
+    /// Barrier deadline policy: when set, a rank parked at a collective
+    /// gives up after the bounded retry/backoff budget and the run
+    /// fails with a typed timeout instead of hanging on a silent peer.
+    /// `None` (the default) parks forever — correct whenever every
+    /// failure announces itself through the abort flag.
+    pub deadline: Option<simgpu::BarrierDeadline>,
 }
 
 impl CommConfig {
@@ -370,7 +376,16 @@ impl CommConfig {
             overlap: false,
             bucket_bytes: 0,
             codec: simgpu::WireCodecId::Identity,
+            deadline: None,
         }
+    }
+
+    /// Sets the barrier deadline policy (silent peers surface as
+    /// `CommError::Timeout` after `timeout · (2^(retries+1) − 1)` of
+    /// waiting).
+    pub fn with_deadline(mut self, deadline: simgpu::BarrierDeadline) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Two-tier hierarchical collectives on the hardware preset's node

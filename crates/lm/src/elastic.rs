@@ -13,8 +13,10 @@
 //! 3. **restores** every survivor from the last *consistent* checkpoint
 //!    — the newest snapshot all survivors hold in the run's
 //!    [`CheckpointStore`] (none ⇒ fresh restart at `G'`);
-//! 4. **resumes**, bounded by [`RecoveryPolicy::max_restarts`] with
-//!    [`RecoveryPolicy::backoff`] between attempts.
+//! 4. **resumes**, bounded by [`RecoveryPolicy::max_restarts`];
+//!    [`RecoveryPolicy::backoff`] between attempts is *simulated*
+//!    (doubled per consecutive restart and recorded on the event),
+//!    never slept.
 //!
 //! Each round is recorded as a [`RecoveryEvent`] (failed ranks, world
 //! before/after, restored step, steps lost, wall-clock stall) in the
@@ -31,9 +33,9 @@
 //! steps past the restored cut, per-step telemetry, epoch history when
 //! rank 0 dies).
 
-use crate::checkpoint::{Checkpoint, CheckpointStore};
+use crate::checkpoint::{Checkpoint, CheckpointBackend, CheckpointStore};
 use crate::config::TrainConfig;
-use crate::metrics::{RecoveryEvent, TrainReport};
+use crate::metrics::{HealthEvent, RecoveryEvent, TrainReport};
 use crate::trainer::{train_checkpointed, TrainError};
 use simgpu::{FaultPlan, SpanKind, TraceEvent};
 use std::sync::Arc;
@@ -49,7 +51,11 @@ pub struct RecoveryPolicy {
     /// Maximum recovery rounds before giving up and returning the
     /// underlying failure.
     pub max_restarts: usize,
-    /// Wall-clock pause between detecting a failure and relaunching.
+    /// Base backoff between detecting a failure and relaunching. The
+    /// driver does **not** sleep it: the pause is *simulated* — doubled
+    /// per consecutive restart (`base · 2^(restart−1)`) and charged to
+    /// [`RecoveryEvent::backoff_ps`] — so elastic tests run at full
+    /// speed while summaries still see realistic recovery costs.
     pub backoff: Duration,
 }
 
@@ -106,14 +112,47 @@ pub fn train_elastic_with_memory(
     plan: &FaultPlan,
     policy: RecoveryPolicy,
 ) -> Result<TrainOutcome, TrainError> {
+    run_elastic(cfg, gpu_mem_bytes, plan, policy, None)
+}
+
+/// [`train_elastic`] over a **durable** checkpoint backend (typically a
+/// [`crate::CheckpointDir`]): every recovery round shares the same
+/// backend, so restores read what earlier rounds — or an earlier
+/// *process* — persisted, and the terminal snapshot survives on disk
+/// until taken. Damaged copies found by the recovery scan surface as
+/// [`HealthEvent::CheckpointCorrupt`] findings on the final report; the
+/// scan itself skips past them to the best intact consistent step.
+pub fn train_elastic_durable(
+    cfg: &TrainConfig,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    backend: Arc<dyn CheckpointBackend>,
+) -> Result<TrainOutcome, TrainError> {
+    run_elastic(cfg, UNLIMITED, plan, policy, Some(backend))
+}
+
+fn run_elastic(
+    cfg: &TrainConfig,
+    gpu_mem_bytes: u64,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    backend: Option<Arc<dyn CheckpointBackend>>,
+) -> Result<TrainOutcome, TrainError> {
     let initial_world = cfg.gpus;
     let mut cfg = cfg.clone();
     let mut plan = plan.clone();
     let mut resume: Option<Arc<Checkpoint>> = None;
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut health: Vec<HealthEvent> = Vec::new();
 
     loop {
-        let store = Arc::new(CheckpointStore::new(cfg.gpus, cfg.checkpoint.keep_last));
+        // Memory-backed rounds each get a fresh store (restore state
+        // travels via `resume`); a durable backend is shared across
+        // rounds so disk contents accumulate and survive the loop.
+        let store = match &backend {
+            Some(b) => Arc::new(CheckpointStore::with_backend(cfg.gpus, Arc::clone(b))),
+            None => Arc::new(CheckpointStore::new(cfg.gpus, cfg.checkpoint.keep_last)),
+        };
         let results = train_checkpointed(
             &cfg,
             gpu_mem_bytes,
@@ -150,6 +189,7 @@ pub fn train_elastic_with_memory(
             let final_world = cfg.gpus;
             annotate_trace(&mut report, &recoveries);
             report.recoveries = recoveries.clone();
+            report.health.extend(health);
             return Ok(TrainOutcome {
                 report,
                 recoveries,
@@ -168,14 +208,25 @@ pub fn train_elastic_with_memory(
             return Err(first_failure.unwrap());
         }
 
-        let restored = store.latest_consistent(&survivors).map(Arc::new);
+        let scan = store.scan(&survivors);
+        for c in &scan.corrupt {
+            health.push(HealthEvent::CheckpointCorrupt {
+                rank: c.rank,
+                step: c.step,
+            });
+        }
+        health.push(HealthEvent::Recovery {
+            round: restart,
+            survivors: survivors.len(),
+        });
+        let restored = scan.checkpoint.map(Arc::new);
         let restored_step = restored.as_ref().map(|c| c.step);
         let steps_lost = store
             .max_progress(&survivors)
             .saturating_sub(restored_step.unwrap_or(0));
-        if !policy.backoff.is_zero() {
-            std::thread::sleep(policy.backoff);
-        }
+        // Backoff is simulated, never slept: double the base per
+        // consecutive restart and charge the result to the event.
+        let backoff_ps = simulated_backoff_ps(policy.backoff, restart);
         recoveries.push(RecoveryEvent {
             restart,
             failed_ranks: failed,
@@ -184,12 +235,22 @@ pub fn train_elastic_with_memory(
             restored_step,
             steps_lost,
             stall_ns: u64::try_from(failure_observed.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            backoff_ps,
+            attempts: restart as u32,
             restored_from: restored.as_deref().cloned(),
         });
         plan = plan.remap_for_survivors(&survivors);
         cfg.gpus = survivors.len();
         resume = restored;
     }
+}
+
+/// The pause charged to restart `n` (1-based): `base · 2^(n−1)`
+/// converted to picoseconds, saturating.
+fn simulated_backoff_ps(base: Duration, restart: usize) -> u64 {
+    let base_ps = base.as_nanos().saturating_mul(1000);
+    let factor = 1u128 << (restart - 1).min(63) as u32;
+    u64::try_from(base_ps.saturating_mul(factor)).unwrap_or(u64::MAX)
 }
 
 /// Appends one `Recovery` marker span per recovery round to the final

@@ -88,7 +88,9 @@
 //! ([`TrainReport::run_summary`]) — the artifact the `bench-diff`
 //! regression gate compares across runs. See DESIGN.md §13.
 
+pub mod chaos;
 pub mod checkpoint;
+pub mod ckpt_disk;
 pub mod config;
 pub mod elastic;
 pub mod eval;
@@ -98,11 +100,18 @@ pub mod schedule;
 pub mod seeding;
 pub mod trainer;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
+pub use chaos::ChaosPlan;
+pub use checkpoint::{
+    Checkpoint, CheckpointBackend, CheckpointError, CheckpointStore, CorruptCheckpoint,
+    MemoryBackend, RecoveryScan,
+};
+pub use ckpt_disk::CheckpointDir;
 pub use config::{
     CheckpointConfig, CommConfig, Method, MetricsConfig, ModelKind, TraceConfig, TrainConfig,
 };
-pub use elastic::{train_elastic, train_elastic_with_memory, RecoveryPolicy, TrainOutcome};
+pub use elastic::{
+    train_elastic, train_elastic_durable, train_elastic_with_memory, RecoveryPolicy, TrainOutcome,
+};
 pub use exchange::{
     exchange_and_apply, exchange_and_apply_traced, exchange_and_apply_with, ExchangeConfig,
     ExchangeScratch, ExchangeStats, PhaseTimings,
@@ -114,9 +123,9 @@ pub use metrics::{
 pub use schedule::{CommOp, ScheduleOutcome};
 pub use seeding::SeedStrategy;
 pub use simgpu::{
-    chrome_trace_json, chrome_trace_json_with_counters, sim_trace_json, CommError, CounterTrack,
-    FaultPlan, Histogram, MetricsRegistry, SimSpan, SimStream, SpanKind, TraceEvent, TraceLog,
-    TraceRecorder,
+    chrome_trace_json, chrome_trace_json_with_counters, sim_trace_json, BarrierDeadline, CommError,
+    CounterTrack, DiskFault, DiskFaultPlan, FaultPlan, Histogram, MetricsRegistry, SimSpan,
+    SimStream, SpanKind, TraceEvent, TraceLog, TraceRecorder,
 };
 pub use trainer::{
     train, train_checkpointed, train_with_faults, train_with_memory_limit, TrainError,

@@ -168,8 +168,18 @@ pub struct RecoveryEvent {
     /// (max survivor progress − restored step).
     pub steps_lost: u64,
     /// Wall-clock nanoseconds from observing the failure to relaunching
-    /// the shrunken world (includes the policy's backoff).
+    /// the shrunken world. Backoff is *not* in here — it is simulated,
+    /// not slept (see [`RecoveryEvent::backoff_ps`]).
     pub stall_ns: u64,
+    /// Simulated backoff charged to this recovery: the policy's base
+    /// backoff doubled per consecutive restart
+    /// (`base · 2^(restart−1)`), converted to picoseconds. Recorded on
+    /// the event instead of sleeping the calling thread.
+    pub backoff_ps: u64,
+    /// Restart attempts consumed so far, including this one — equals
+    /// [`RecoveryEvent::restart`], carried explicitly so summaries
+    /// need not infer it from event ordering.
+    pub attempts: u32,
     /// The snapshot every survivor was restored from — starting a fresh
     /// run at the new world size from this checkpoint is bit-identical
     /// to the recovered run (asserted in `tests/elastic_recovery.rs`).
@@ -404,6 +414,12 @@ impl TrainReport {
             train_loss: self.steps.last().map(|s| s.train_loss).unwrap_or(f64::NAN),
             dropped_spans: self.trace.as_ref().map(|t| t.dropped).unwrap_or(0),
             health_events: self.health.len() as u64,
+            recoveries: self.recoveries.len() as u64,
+            corruptions: self
+                .health
+                .iter()
+                .filter(|e| matches!(e, HealthEvent::CheckpointCorrupt { .. }))
+                .count() as u64,
         }
     }
 }
@@ -444,6 +460,23 @@ pub enum HealthEvent {
         rank: usize,
         /// Spans overwritten.
         dropped: u64,
+    },
+    /// The recovery scan found a damaged checkpoint copy (torn write,
+    /// bit rot, or a manifested-but-missing file) and skipped past it.
+    /// One event per damaged copy encountered.
+    CheckpointCorrupt {
+        /// Rank whose copy was damaged (pre-shrink numbering).
+        rank: usize,
+        /// Step of the damaged snapshot.
+        step: u64,
+    },
+    /// One elastic-recovery round completed: the world shrank and
+    /// training resumed from the best consistent checkpoint.
+    Recovery {
+        /// 1-based recovery round (matches `RecoveryEvent::restart`).
+        round: usize,
+        /// World size after the shrink.
+        survivors: usize,
     },
 }
 
@@ -509,6 +542,17 @@ impl HealthMonitor {
                 self.streaks[q] = 0;
             }
         }
+    }
+
+    /// Records a damaged checkpoint copy found by the recovery scan.
+    pub fn note_checkpoint_corrupt(&mut self, rank: usize, step: u64) {
+        self.events
+            .push(HealthEvent::CheckpointCorrupt { rank, step });
+    }
+
+    /// Records a completed elastic-recovery round.
+    pub fn note_recovery(&mut self, round: usize, survivors: usize) {
+        self.events.push(HealthEvent::Recovery { round, survivors });
     }
 
     /// Findings so far.
@@ -741,10 +785,17 @@ pub struct RunSummary {
     pub dropped_spans: u64,
     /// Health findings attached to the report.
     pub health_events: u64,
+    /// Elastic-recovery rounds survived en route to this report.
+    pub recoveries: u64,
+    /// Damaged checkpoint copies the recovery scans skipped past
+    /// ([`HealthEvent::CheckpointCorrupt`] findings).
+    pub corruptions: u64,
 }
 
-/// Schema tag of the [`RunSummary`] JSON encoding.
-pub const RUN_SUMMARY_SCHEMA: &str = "zlm.run_summary.v1";
+/// Schema tag of the [`RunSummary`] JSON encoding. v2 appended the
+/// durability fields (`recoveries`, `corruptions`); the parser rejects
+/// v1 documents explicitly rather than guessing defaults.
+pub const RUN_SUMMARY_SCHEMA: &str = "zlm.run_summary.v2";
 
 impl RunSummary {
     /// Serialises to the canonical JSON encoding: fixed field order,
@@ -759,7 +810,8 @@ impl RunSummary {
              \"barrier_wait_ps\": {},\n  \"skew_ps\": {},\n  \"self_delay_ps\": {},\n  \
              \"overlapped_ps\": {},\n  \"wire_intra_bytes\": {},\n  \"wire_inter_bytes\": {},\n  \
              \"codec_raw_bytes\": {},\n  \"codec_enc_bytes\": {},\n  \"codec_ratio_milli\": {},\n  \
-             \"train_loss\": {},\n  \"dropped_spans\": {},\n  \"health_events\": {}\n}}",
+             \"train_loss\": {},\n  \"dropped_spans\": {},\n  \"health_events\": {},\n  \
+             \"recoveries\": {},\n  \"corruptions\": {}\n}}",
             RUN_SUMMARY_SCHEMA,
             self.world,
             self.config_fingerprint,
@@ -784,6 +836,8 @@ impl RunSummary {
             json_f64(self.train_loss),
             self.dropped_spans,
             self.health_events,
+            self.recoveries,
+            self.corruptions,
         )
     }
 
@@ -850,6 +904,8 @@ impl RunSummary {
             train_loss: loss,
             dropped_spans: get_u64("dropped_spans")?,
             health_events: get_u64("health_events")?,
+            recoveries: get_u64("recoveries")?,
+            corruptions: get_u64("corruptions")?,
         })
     }
 }
@@ -1063,6 +1119,8 @@ mod tests {
             train_loss: 3.25,
             dropped_spans: 0,
             health_events: 1,
+            recoveries: 2,
+            corruptions: 1,
         };
         let j = s.to_json();
         let back = RunSummary::from_json(&j).expect("parse");
@@ -1104,10 +1162,52 @@ mod tests {
             train_loss: 0.0,
             dropped_spans: 0,
             health_events: 0,
+            recoveries: 0,
+            corruptions: 0,
         };
         let j = s.to_json();
-        assert!(RunSummary::from_json(&j.replace("zlm.run_summary.v1", "v999")).is_err());
+        assert!(RunSummary::from_json(&j.replace("zlm.run_summary.v2", "v999")).is_err());
         assert!(RunSummary::from_json(&j.replace("\"steps\"", "\"stepz\"")).is_err());
+        // The v1 schema (no durability fields) is rejected, not defaulted.
+        assert!(
+            RunSummary::from_json(&j.replace("zlm.run_summary.v2", "zlm.run_summary.v1")).is_err()
+        );
+    }
+
+    #[test]
+    fn health_monitor_note_methods_append_events() {
+        let mut m = HealthMonitor::new(2, &MetricsConfig::on());
+        m.note_checkpoint_corrupt(1, 8);
+        m.note_recovery(1, 1);
+        assert_eq!(
+            m.into_events(),
+            vec![
+                HealthEvent::CheckpointCorrupt { rank: 1, step: 8 },
+                HealthEvent::Recovery {
+                    round: 1,
+                    survivors: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn run_summary_counts_recoveries_and_corruptions() {
+        let mut r = TrainReport {
+            gpus: 2,
+            ..Default::default()
+        };
+        r.recoveries.push(RecoveryEvent::default());
+        r.health
+            .push(HealthEvent::CheckpointCorrupt { rank: 1, step: 4 });
+        r.health.push(HealthEvent::Recovery {
+            round: 1,
+            survivors: 1,
+        });
+        let s = r.run_summary(&TrainConfig::default());
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.corruptions, 1);
+        assert_eq!(s.health_events, 2);
     }
 
     #[test]

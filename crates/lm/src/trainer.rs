@@ -95,6 +95,23 @@ pub enum TrainError {
         /// Human-readable mismatch description.
         reason: String,
     },
+    /// A barrier deadline expired: some peer went silent without
+    /// aborting, and the group gave up waiting instead of hanging.
+    /// Non-recoverable by elastic shrink — the hung rank cannot be
+    /// attributed (any subset of the group may be silent) — but the run
+    /// fails typed instead of deadlocking.
+    Timeout {
+        /// The rank that gave up waiting.
+        rank: usize,
+        /// Total simulated wait across all retry slices, picoseconds.
+        waited_ps: u64,
+    },
+    /// Persisting a checkpoint failed with a real storage error (not an
+    /// injected fault — those stay silent until the recovery scan).
+    CheckpointWrite {
+        /// What the backend reported.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -118,6 +135,13 @@ impl fmt::Display for TrainError {
             TrainError::InvalidCheckpoint { reason } => {
                 write!(f, "cannot resume: {reason}")
             }
+            TrainError::Timeout { rank, waited_ps } => write!(
+                f,
+                "training timed out: rank {rank} waited {waited_ps} ps for a silent peer"
+            ),
+            TrainError::CheckpointWrite { reason } => {
+                write!(f, "checkpoint write failed: {reason}")
+            }
         }
     }
 }
@@ -126,9 +150,15 @@ impl std::error::Error for TrainError {}
 
 impl From<CommError> for TrainError {
     fn from(e: CommError) -> Self {
-        TrainError::PeerFailure {
-            rank: e.failed_rank,
-            reason: e.reason,
+        match e {
+            CommError::Abort {
+                failed_rank,
+                reason,
+            } => TrainError::PeerFailure {
+                rank: failed_rank,
+                reason,
+            },
+            CommError::Timeout { rank, waited_ps } => TrainError::Timeout { rank, waited_ps },
         }
     }
 }
@@ -306,11 +336,7 @@ fn train_inner(
     } else {
         cfg.comm.gpus_per_node
     };
-    let ranks = if cfg.comm.pool_workers > 0 {
-        CommGroup::create_pooled(cfg.gpus, gpn, cfg.comm.pool_workers)
-    } else {
-        CommGroup::create_with_topology(cfg.gpus, gpn)
-    };
+    let ranks = CommGroup::create_full(cfg.gpus, gpn, cfg.comm.pool_workers, cfg.comm.deadline);
 
     let runtime = &runtime;
     let results: Vec<Result<RankOutput, TrainError>> = simgpu::run_ranks(ranks, |rank| {
@@ -1093,6 +1119,26 @@ fn run_rank(
                 rank.abort(reason.clone());
                 return Err(TrainError::PeerFailure { rank: r, reason });
             }
+            if plan.should_hang(r, global_step as usize) {
+                // Go silent: stop calling collectives but never abort.
+                // Peers hang at their next barrier until a configured
+                // deadline (`cfg.comm.deadline`) poisons the group with
+                // `CommError::Timeout`; this rank then observes the
+                // poison and returns the same typed error instead of
+                // parking forever.
+                loop {
+                    if let Err(e) = rank.check_abort() {
+                        return Err(e.into());
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            if plan.wire_corruption_at(r) == Some(global_step as usize) {
+                // Arm the one-shot latch: the next codec frame this
+                // rank publishes is damaged in flight and every decoder
+                // attributes the corruption to this rank.
+                rank.corrupt_next_codec_frame();
+            }
             if let Some(rec) = recorder.as_mut() {
                 rec.set_step(global_step);
             }
@@ -1466,7 +1512,7 @@ fn run_rank(
                 rt.store.note_progress(r, global_step);
                 let every = cfg.checkpoint.every_steps;
                 if every > 0 && global_step.is_multiple_of(every) {
-                    rt.store.deposit(take_snapshot(
+                    let snapshot = take_snapshot(
                         fingerprint.as_ref().unwrap(),
                         g,
                         r,
@@ -1480,7 +1526,16 @@ fn run_rank(
                         epoch_time_ps,
                         unique_sum,
                         unique_count,
-                    ));
+                    );
+                    if let Err(e) = rt.store.deposit(snapshot) {
+                        // A *real* storage failure (injected disk
+                        // faults return Ok and stay latent until the
+                        // recovery scan). Poison the group: peers must
+                        // not train on while this rank cannot persist.
+                        let reason = format!("checkpoint write failed: {e}");
+                        rank.abort(reason.clone());
+                        return Err(TrainError::CheckpointWrite { reason });
+                    }
                 }
             }
         }
@@ -1521,7 +1576,7 @@ fn run_rank(
     // the validation history — and resuming from it is a no-op run.
     if let Some(rt) = runtime {
         if is_rank0 {
-            rt.store.set_final(take_snapshot(
+            let snapshot = take_snapshot(
                 fingerprint.as_ref().unwrap(),
                 g,
                 r,
@@ -1535,7 +1590,12 @@ fn run_rank(
                 0,
                 unique_sum,
                 unique_count,
-            ));
+            );
+            if let Err(e) = rt.store.set_final(snapshot) {
+                let reason = format!("terminal checkpoint write failed: {e}");
+                rank.abort(reason.clone());
+                return Err(TrainError::CheckpointWrite { reason });
+            }
         }
     }
     guard.disarm();

@@ -89,24 +89,91 @@ impl<T> Mutex<T> {
 /// the original attribution, so every surviving rank reports the same
 /// root cause.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CommError {
-    /// Rank whose failure poisoned the group.
-    pub failed_rank: usize,
-    /// Human-readable description of that first failure.
-    pub reason: String,
+pub enum CommError {
+    /// A rank announced its own failure (or a decoder attributed a
+    /// corrupt frame to its sender) and poisoned the group.
+    Abort {
+        /// Rank whose failure poisoned the group.
+        failed_rank: usize,
+        /// Human-readable description of that first failure.
+        reason: String,
+    },
+    /// A barrier deadline expired: some peer went silent *without*
+    /// aborting (a hung rank), so the waiter gave up after the
+    /// configured retries instead of parking forever.
+    Timeout {
+        /// The rank that gave up waiting (the hung peer is unknowable —
+        /// any subset of the group may be silent).
+        rank: usize,
+        /// Total simulated wait across all retry slices, picoseconds.
+        waited_ps: u64,
+    },
+}
+
+impl CommError {
+    /// The legacy poison-the-group constructor.
+    pub fn abort(failed_rank: usize, reason: impl Into<String>) -> Self {
+        CommError::Abort {
+            failed_rank,
+            reason: reason.into(),
+        }
+    }
+
+    /// Rank this error attributes: the failed rank for aborts, the
+    /// waiter that gave up for timeouts.
+    pub fn failed_rank(&self) -> usize {
+        match self {
+            CommError::Abort { failed_rank, .. } => *failed_rank,
+            CommError::Timeout { rank, .. } => *rank,
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn reason(&self) -> String {
+        match self {
+            CommError::Abort { reason, .. } => reason.clone(),
+            CommError::Timeout { waited_ps, .. } => {
+                format!("barrier deadline expired after {waited_ps} ps (silent peer)")
+            }
+        }
+    }
 }
 
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "collective aborted: rank {} failed ({})",
-            self.failed_rank, self.reason
-        )
+        match self {
+            CommError::Abort {
+                failed_rank,
+                reason,
+            } => write!(
+                f,
+                "collective aborted: rank {failed_rank} failed ({reason})"
+            ),
+            CommError::Timeout { rank, waited_ps } => write!(
+                f,
+                "collective timed out: rank {rank} waited {waited_ps} ps for a silent peer"
+            ),
+        }
     }
 }
 
 impl std::error::Error for CommError {}
+
+/// Deadline policy for the abort barrier: how long a rank parks waiting
+/// for peers before concluding the group contains a silent (hung) rank.
+///
+/// Each retry doubles the wait slice (bounded exponential backoff), so
+/// the total wall budget is `timeout · (2^(retries+1) − 1)`. With no
+/// deadline configured the barrier parks forever — the pre-existing
+/// behaviour, correct when every fault announces itself via
+/// [`Rank::abort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierDeadline {
+    /// First wait slice; doubles on each retry.
+    pub timeout: std::time::Duration,
+    /// Number of *additional* timed waits after the first expires.
+    pub retries: u32,
+}
 
 /// Barrier state behind the abort-aware barrier's mutex.
 #[derive(Debug, Default)]
@@ -128,14 +195,19 @@ struct AbortBarrier {
     world: usize,
     state: Mutex<BarrierState>,
     cvar: Condvar,
+    /// When set, parked waiters give up after the retry budget and
+    /// poison the group with [`CommError::Timeout`] instead of hanging
+    /// on a silent peer.
+    deadline: Option<BarrierDeadline>,
 }
 
 impl AbortBarrier {
-    fn new(world: usize) -> Self {
+    fn new(world: usize, deadline: Option<BarrierDeadline>) -> Self {
         Self {
             world,
             state: Mutex::new(BarrierState::default()),
             cvar: Condvar::new(),
+            deadline,
         }
     }
 
@@ -150,7 +222,7 @@ impl AbortBarrier {
     /// [`AbortBarrier::abort`] calls block for its duration, which is
     /// safe (abort only needs to set the flag and wake waiters, and
     /// every waiter is still parked here anyway).
-    fn wait_leader<F: FnOnce()>(&self, leader_work: F) -> Result<(), CommError> {
+    fn wait_leader<F: FnOnce()>(&self, rank: usize, leader_work: F) -> Result<(), CommError> {
         let mut st = self.state.lock();
         if let Some(e) = &st.abort {
             return Err(e.clone());
@@ -164,11 +236,30 @@ impl AbortBarrier {
             return Ok(());
         }
         let gen = st.generation;
+        // Retry budget for the deadline path: the first slice plus
+        // `retries` doubled slices. Spurious wakeups and abort/round
+        // completions are handled inside the loop either way.
+        let mut slice = self.deadline.map(|d| d.timeout);
+        let mut attempts_left = self.deadline.map_or(0, |d| d.retries);
+        let mut waited = std::time::Duration::ZERO;
         loop {
-            st = self
-                .cvar
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let timed_out = match slice {
+                None => {
+                    st = self
+                        .cvar
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    false
+                }
+                Some(dur) => {
+                    let (guard, res) = self
+                        .cvar
+                        .wait_timeout(st, dur)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st = guard;
+                    res.timed_out()
+                }
+            };
             // Generation first: if the round completed before the abort
             // landed, this barrier crossing succeeded — the caller will
             // observe the abort at its next crossing.
@@ -177,6 +268,28 @@ impl AbortBarrier {
             }
             if let Some(e) = &st.abort {
                 return Err(e.clone());
+            }
+            if timed_out {
+                let dur = slice.expect("timed_out implies a deadline slice");
+                waited += dur;
+                if attempts_left == 0 {
+                    // Out of retries: the group contains a silent peer.
+                    // Poison it (first failure wins — a racing abort
+                    // keeps its attribution) and fail typed.
+                    let err = CommError::Timeout {
+                        rank,
+                        waited_ps: waited.as_nanos().saturating_mul(1000).min(u64::MAX as u128)
+                            as u64,
+                    };
+                    if st.abort.is_none() {
+                        st.abort = Some(err);
+                    }
+                    let recorded = st.abort.clone().expect("abort just recorded");
+                    self.cvar.notify_all();
+                    return Err(recorded);
+                }
+                attempts_left -= 1;
+                slice = Some(dur.saturating_mul(2));
             }
         }
     }
@@ -325,7 +438,7 @@ impl CommGroup {
     /// topology only affects which [`Tier`] bucket each collective's
     /// bytes are charged to — results are identical on any topology.
     pub fn create_with_topology(world: usize, gpus_per_node: usize) -> Vec<Rank> {
-        Self::build(world, gpus_per_node, None)
+        Self::build(world, gpus_per_node, None, None)
     }
 
     /// Creates a topology-aware group whose ranks multiplex over a
@@ -335,10 +448,29 @@ impl CommGroup {
     /// rendezvous, so at most `pool_workers` ranks ever run
     /// concurrently no matter how large `world` is.
     pub fn create_pooled(world: usize, gpus_per_node: usize, pool_workers: usize) -> Vec<Rank> {
-        Self::build(world, gpus_per_node, Some(RunGate::new(pool_workers)))
+        Self::build(world, gpus_per_node, Some(RunGate::new(pool_workers)), None)
     }
 
-    fn build(world: usize, gpus_per_node: usize, gate: Option<Arc<RunGate>>) -> Vec<Rank> {
+    /// Fully-parameterised constructor: topology, optional bounded pool
+    /// (`pool_workers == 0` means unpooled), and an optional barrier
+    /// deadline that converts silent-peer hangs into
+    /// [`CommError::Timeout`] after a bounded retry/backoff budget.
+    pub fn create_full(
+        world: usize,
+        gpus_per_node: usize,
+        pool_workers: usize,
+        deadline: Option<BarrierDeadline>,
+    ) -> Vec<Rank> {
+        let gate = (pool_workers > 0).then(|| RunGate::new(pool_workers));
+        Self::build(world, gpus_per_node, gate, deadline)
+    }
+
+    fn build(
+        world: usize,
+        gpus_per_node: usize,
+        gate: Option<Arc<RunGate>>,
+        deadline: Option<BarrierDeadline>,
+    ) -> Vec<Rank> {
         assert!(world >= 1, "group needs at least one rank");
         assert!(
             gpus_per_node >= 1,
@@ -347,7 +479,7 @@ impl CommGroup {
         let core = Arc::new(GroupCore {
             world,
             gpus_per_node,
-            barrier: AbortBarrier::new(world),
+            barrier: AbortBarrier::new(world, deadline),
             gather_u32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_f32: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
             gather_u16: (0..world).map(|_| Mutex::new(Vec::new())).collect(),
@@ -362,8 +494,28 @@ impl CommGroup {
                 rank,
                 core: Arc::clone(&core),
                 wait_ns: None,
+                corrupt_next_frame: std::sync::atomic::AtomicBool::new(false),
             })
             .collect()
+    }
+}
+
+/// In-flight frame damage for the transient wire-corruption fault: the
+/// frame is torn (emptied), or grows a stray byte when already empty.
+///
+/// Tearing — not bit-flipping — is the modelled fault because it is
+/// *detectable by construction* for every codec: a non-empty payload
+/// decoded from zero bytes is a guaranteed `Truncated`, and a stray
+/// byte on an empty payload is guaranteed trailing garbage. A flipped
+/// bit inside an identity (raw) frame would instead decode silently
+/// into wrong values — the wire layer has no CRC (that lives in the
+/// checkpoint frames), so the harness injects the fault class the
+/// framing can actually catch.
+fn corrupt_frame(frame: &mut Vec<u8>) {
+    if frame.is_empty() {
+        frame.push(0xA5);
+    } else {
+        frame.clear();
     }
 }
 
@@ -374,6 +526,10 @@ pub struct Rank {
     /// Opt-in barrier-wait accounting (see [`Rank::enable_wait_tracking`]).
     /// `None` by default so the hot path pays a single branch, no timing.
     wait_ns: Option<AtomicU64>,
+    /// One-shot wire-corruption latch (see
+    /// [`Rank::corrupt_next_codec_frame`]): when armed, the next codec
+    /// frame this rank publishes is damaged in flight.
+    corrupt_next_frame: std::sync::atomic::AtomicBool,
 }
 
 /// Chunk boundaries for the ring algorithm: `G` nearly-equal ranges.
@@ -657,10 +813,10 @@ impl Rank {
             gate.release();
         }
         let res = match &self.wait_ns {
-            None => self.core.barrier.wait_leader(leader_work),
+            None => self.core.barrier.wait_leader(self.rank, leader_work),
             Some(counter) => {
                 let start = Instant::now();
-                let res = self.core.barrier.wait_leader(leader_work);
+                let res = self.core.barrier.wait_leader(self.rank, leader_work);
                 let waited = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 counter.fetch_add(waited, Ordering::Relaxed);
                 res
@@ -692,10 +848,25 @@ impl Rank {
     /// collective wake with `Err`, and every future collective fails
     /// immediately. Idempotent; the first abort's attribution wins.
     pub fn abort(&self, reason: impl Into<String>) {
-        self.core.barrier.abort(CommError {
-            failed_rank: self.rank,
-            reason: reason.into(),
-        });
+        self.core.barrier.abort(CommError::abort(self.rank, reason));
+    }
+
+    /// Arms the one-shot wire-corruption latch: the next codec frame
+    /// this rank publishes into a collective is damaged in flight (its
+    /// final byte is torn off; an empty frame instead grows a stray
+    /// byte). Because every codec's framing disambiguates packed from
+    /// raw *by length*, the damage is guaranteed to surface as a typed
+    /// [`crate::codec::CodecError`] at each decoder — never a silent
+    /// wrong answer — which poisons the group attributed to this rank.
+    pub fn corrupt_next_codec_frame(&self) {
+        self.corrupt_next_frame
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Consumes the wire-corruption latch (true at most once per arm).
+    fn take_corrupt_frame(&self) -> bool {
+        self.corrupt_next_frame
+            .swap(false, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Cheap non-blocking poll: `Err` if the group is poisoned. Lets
@@ -1014,10 +1185,10 @@ impl Rank {
         gpus_per_node: usize,
     ) -> Result<(), CommError> {
         if gpus_per_node == 0 {
-            return Err(CommError {
-                failed_rank: self.rank,
-                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
-            });
+            return Err(CommError::abort(
+                self.rank,
+                "invalid topology: gpus_per_node must be at least 1",
+            ));
         }
         let g = self.core.world;
         if g <= gpus_per_node {
@@ -1067,10 +1238,10 @@ impl Rank {
     ) -> Result<(), CommError> {
         assert!(scale > 0.0, "compression scale must be positive");
         if gpus_per_node == 0 {
-            return Err(CommError {
-                failed_rank: self.rank,
-                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
-            });
+            return Err(CommError::abort(
+                self.rank,
+                "invalid topology: gpus_per_node must be at least 1",
+            ));
         }
         let g = self.core.world;
         if g <= gpus_per_node {
@@ -1132,11 +1303,21 @@ impl Rank {
     /// Poisons the group with a codec decode failure and returns the
     /// typed error — malformed wire bytes must never panic a rank, and
     /// peers blocked at the next rendezvous must observe the failure.
-    fn codec_abort(&self, codec: &dyn WireCodec, err: crate::codec::CodecError) -> CommError {
-        let e = CommError {
-            failed_rank: self.rank,
-            reason: format!("wire codec {} decode failed: {err}", codec.name()),
-        };
+    ///
+    /// The failure is attributed to `sender`, the rank whose published
+    /// frame failed to decode — not the decoding rank — so every
+    /// decoder names the *same* culprit and elastic recovery can shrink
+    /// around it deterministically.
+    fn codec_abort(
+        &self,
+        sender: usize,
+        codec: &dyn WireCodec,
+        err: crate::codec::CodecError,
+    ) -> CommError {
+        let e = CommError::abort(
+            sender,
+            format!("wire codec {} decode failed: {err}", codec.name()),
+        );
         self.core.barrier.abort(e.clone());
         e
     }
@@ -1167,6 +1348,9 @@ impl Rank {
             slot.0 = local.len();
             slot.1.clear();
             codec.encode_u32(local, &mut slot.1);
+            if self.take_corrupt_frame() {
+                corrupt_frame(&mut slot.1);
+            }
             slot.1.len() as u64
         };
         self.core
@@ -1183,7 +1367,7 @@ impl Rank {
             let slot = self.core.gather_bytes[s].lock();
             if let Err(e) = codec.decode_u32(&slot.1, slot.0, out) {
                 drop(slot);
-                return Err(self.codec_abort(codec, e));
+                return Err(self.codec_abort(s, codec, e));
             }
         }
         self.barrier()
@@ -1253,10 +1437,10 @@ impl Rank {
         gpus_per_node: usize,
     ) -> Result<(), CommError> {
         if gpus_per_node == 0 {
-            return Err(CommError {
-                failed_rank: self.rank,
-                reason: "invalid topology: gpus_per_node must be at least 1".to_string(),
-            });
+            return Err(CommError::abort(
+                self.rank,
+                "invalid topology: gpus_per_node must be at least 1",
+            ));
         }
         let g = self.core.world;
         if g <= gpus_per_node {
@@ -1306,9 +1490,12 @@ impl Rank {
             let range = chunk_range(n, g, c);
             wire.clear();
             codec.encode_f32(&data[range.clone()], &mut wire);
+            if self.take_corrupt_frame() {
+                corrupt_frame(&mut wire);
+            }
             decoded.clear();
             if let Err(e) = codec.decode_f32(&wire, range.len(), &mut decoded) {
-                return Err(self.codec_abort(codec, e));
+                return Err(self.codec_abort(self.rank, codec, e));
             }
             data[range].copy_from_slice(&decoded);
         }
@@ -1850,8 +2037,8 @@ mod tests {
                 assert_eq!(*res, Ok(()));
             } else {
                 let err = res.clone().unwrap_err();
-                assert_eq!(err.failed_rank, 2);
-                assert_eq!(err.reason, "simulated failure");
+                assert_eq!(err.failed_rank(), 2);
+                assert_eq!(err.reason(), "simulated failure");
             }
         }
     }
@@ -1877,7 +2064,7 @@ mod tests {
             }
             assert_eq!(errs.len(), 4);
             for e in errs {
-                assert_eq!(e.failed_rank, 1, "rank {r} misattributed: {e}");
+                assert_eq!(e.failed_rank(), 1, "rank {r} misattributed: {e}");
             }
         }
     }
@@ -1894,8 +2081,8 @@ mod tests {
         });
         assert_eq!(results[0], Ok(()));
         let err = results[1].clone().unwrap_err();
-        assert_eq!(err.failed_rank, 0);
-        assert_eq!(err.reason, "rank 0 unwound");
+        assert_eq!(err.failed_rank(), 0);
+        assert_eq!(err.reason(), "rank 0 unwound");
     }
 
     #[test]
@@ -1937,8 +2124,8 @@ mod tests {
         });
         for res in results {
             let err = res.unwrap_err();
-            assert_eq!(err.failed_rank, 0);
-            assert_eq!(err.reason, "root cause");
+            assert_eq!(err.failed_rank(), 0);
+            assert_eq!(err.reason(), "root cause");
         }
     }
 
@@ -1958,8 +2145,188 @@ mod tests {
             (a, b)
         });
         for (a, b) in results {
-            assert_eq!(a.failed_rank, 0);
+            assert_eq!(a.failed_rank(), 0);
             assert_eq!(b, a);
+        }
+    }
+
+    /// Like [`run_group`] but with a barrier deadline configured.
+    fn run_group_deadline<T: Send>(
+        world: usize,
+        deadline: BarrierDeadline,
+        f: impl Fn(Rank) -> T + Sync,
+    ) -> Vec<T> {
+        let ranks = CommGroup::create_full(world, world, 0, Some(deadline));
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for rank in ranks {
+                let f = &f;
+                handles.push(s.spawn(move || f(rank)));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                out[i] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        out.into_iter().map(Option::unwrap).collect()
+    }
+
+    #[test]
+    fn silent_peer_times_out_instead_of_hanging() {
+        let deadline = BarrierDeadline {
+            timeout: std::time::Duration::from_millis(5),
+            retries: 2,
+        };
+        let results = run_group_deadline(3, deadline, |rank| {
+            if rank.rank() == 2 {
+                // Go silent: never call a collective, never abort.
+                // Wait for the poison so the thread still joins.
+                while rank.check_abort().is_ok() {
+                    std::thread::yield_now();
+                }
+                return rank.check_abort();
+            }
+            rank.barrier()
+        });
+        // Total budget: 5 + 10 + 20 ms slices → waited_ps ≥ 35e9.
+        for (r, res) in results.iter().enumerate() {
+            let err = res.clone().unwrap_err();
+            match err {
+                CommError::Timeout { rank, waited_ps } => {
+                    assert!(rank < 2, "a waiter (not the silent rank) attributes");
+                    assert!(
+                        waited_ps >= 35_000_000_000,
+                        "rank {r}: waited_ps {waited_ps} below the slice budget"
+                    );
+                }
+                other => panic!("rank {r}: expected Timeout, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_is_inert_when_peers_arrive() {
+        let deadline = BarrierDeadline {
+            timeout: std::time::Duration::from_millis(1),
+            retries: 0,
+        };
+        let sums = run_group_deadline(4, deadline, |rank| {
+            let mut v = vec![rank.rank() as f32; 8];
+            for _ in 0..50 {
+                rank.all_reduce_sum(&mut v).expect("no one is silent");
+                v.iter_mut().for_each(|x| *x /= 4.0);
+            }
+            v[0]
+        });
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn explicit_abort_beats_pending_timeout_attribution() {
+        let deadline = BarrierDeadline {
+            timeout: std::time::Duration::from_millis(50),
+            retries: 5,
+        };
+        let results = run_group_deadline(2, deadline, |rank| {
+            if rank.rank() == 1 {
+                // Let rank 0 park first, then announce the failure —
+                // well inside the first 50 ms slice.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                rank.abort("announced failure");
+                return rank.check_abort();
+            }
+            rank.barrier()
+        });
+        let err = results[0].clone().unwrap_err();
+        assert_eq!(err, CommError::abort(1, "announced failure"));
+    }
+
+    #[test]
+    fn corrupt_frame_on_allgather_names_the_sender_on_every_rank() {
+        use crate::codec::WireCodecId;
+        let results = run_group(3, |rank| {
+            if rank.rank() == 1 {
+                rank.corrupt_next_codec_frame();
+            }
+            let local = vec![rank.rank() as u32 * 100; 16];
+            let mut out = Vec::new();
+            rank.all_gather_u32_codec_into(
+                &local,
+                WireCodecId::Lossless
+                    .index_codec()
+                    .expect("lossless has an index codec"),
+                &mut out,
+            )
+        });
+        for (r, res) in results.iter().enumerate() {
+            let err = res.clone().unwrap_err();
+            assert_eq!(
+                err.failed_rank(),
+                1,
+                "rank {r} must attribute the corrupt frame to its sender: {err}"
+            );
+            assert!(err.reason().contains("decode failed"), "{err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_on_allreduce_codec_poisons_with_sender() {
+        use crate::codec::WireCodecId;
+        let results = run_group(4, |rank| {
+            if rank.rank() == 2 {
+                rank.corrupt_next_codec_frame();
+            }
+            let mut data = vec![1.5f32; 32];
+            // The damaged round-trip is local to rank 2, which fails
+            // mid-collective; peers observe the poison no later than
+            // their next barrier crossing.
+            rank.all_reduce_sum_codec(
+                &mut data,
+                WireCodecId::Lossless
+                    .grad_codec()
+                    .expect("lossless has a grad codec"),
+            )
+            .and_then(|()| rank.barrier())
+        });
+        for (r, res) in results.iter().enumerate() {
+            let err = res.clone().unwrap_err();
+            assert_eq!(err.failed_rank(), 2, "rank {r}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_latch_is_one_shot() {
+        use crate::codec::WireCodecId;
+        let results = run_group(2, |rank| {
+            let codec = WireCodecId::Lossless
+                .index_codec()
+                .expect("lossless has an index codec");
+            let mut out = Vec::new();
+            if rank.rank() == 0 {
+                rank.corrupt_next_codec_frame();
+            }
+            let first = rank.all_gather_u32_codec_into(&[1, 2, 3], codec, &mut out);
+            (first, rank.check_abort())
+        });
+        for (first, after) in &results {
+            assert!(first.is_err(), "armed frame must fail the collective");
+            assert!(after.is_err(), "group stays poisoned");
+        }
+        // The latch itself is consumed: a fresh group with no arming
+        // round-trips the identical payload cleanly.
+        let clean = run_group(2, |rank| {
+            let mut out = Vec::new();
+            rank.all_gather_u32_codec_into(
+                &[1, 2, 3],
+                WireCodecId::Lossless
+                    .index_codec()
+                    .expect("lossless has an index codec"),
+                &mut out,
+            )
+            .map(|()| out)
+        });
+        for res in clean {
+            assert_eq!(res.unwrap(), vec![1, 2, 3, 1, 2, 3]);
         }
     }
 
@@ -2019,8 +2386,8 @@ mod tests {
         let results = run_group(4, |rank| {
             let mut data = vec![rank.rank() as f32; 5];
             let err = rank.all_reduce_sum_hierarchical(&mut data, 0).unwrap_err();
-            assert_eq!(err.failed_rank, rank.rank());
-            assert!(err.reason.contains("gpus_per_node"), "{}", err.reason);
+            assert_eq!(err.failed_rank(), rank.rank());
+            assert!(err.reason().contains("gpus_per_node"), "{}", err.reason());
             // Group still healthy: a valid collective succeeds.
             rank.all_reduce_sum_hierarchical(&mut data, 2).unwrap();
             data[0]
@@ -2147,7 +2514,7 @@ mod tests {
             let err = rank
                 .all_reduce_sum_f16_hierarchical(&mut data, scale, 0)
                 .unwrap_err();
-            assert!(err.reason.contains("gpus_per_node"), "{}", err.reason);
+            assert!(err.reason().contains("gpus_per_node"), "{}", err.reason());
             rank.all_reduce_sum_f16_hierarchical(&mut data, scale, 1)
                 .unwrap();
             data[0]
@@ -2276,8 +2643,8 @@ mod tests {
                 assert_eq!(*res, Ok(()));
             } else {
                 let err = res.clone().unwrap_err();
-                assert_eq!(err.failed_rank, 4, "rank {r} misattributed the kill");
-                assert!(err.reason.contains("leader of node 1"));
+                assert_eq!(err.failed_rank(), 4, "rank {r} misattributed the kill");
+                assert!(err.reason().contains("leader of node 1"));
             }
         }
     }

@@ -45,6 +45,16 @@ pub struct FaultPlan {
     stragglers: BTreeMap<usize, Duration>,
     /// rank → device capacity override in bytes.
     mem_limits: BTreeMap<usize, u64>,
+    /// rank → step at which the rank goes *silent*: it stops calling
+    /// collectives without aborting. Detectable only by a barrier
+    /// deadline ([`crate::BarrierDeadline`]) — without one the group
+    /// hangs, which is exactly the failure mode the deadline exists for.
+    hangs: BTreeMap<usize, usize>,
+    /// rank → step at which the rank's next published codec frame is
+    /// corrupted in flight (one-shot, identity-keyed like
+    /// `transient_kills`: consumed by recovery, renumbered for
+    /// survivors).
+    wire_corruptions: BTreeMap<usize, usize>,
 }
 
 impl FaultPlan {
@@ -60,6 +70,8 @@ impl FaultPlan {
             && self.transient_kills.is_empty()
             && self.stragglers.is_empty()
             && self.mem_limits.is_empty()
+            && self.hangs.is_empty()
+            && self.wire_corruptions.is_empty()
     }
 
     /// Kill `rank` at the start of global step `step` (0-based). The
@@ -105,6 +117,29 @@ impl FaultPlan {
         self
     }
 
+    /// Make `rank` go *silent* at the start of global step `step`
+    /// (0-based): it stops calling collectives but — unlike a kill —
+    /// never aborts the group. Peers block at their next barrier until
+    /// a configured [`crate::BarrierDeadline`] expires and converts the
+    /// hang into [`crate::CommError::Timeout`]; without a deadline this
+    /// fault deadlocks the run, by design. Slot-keyed like `kill_rank`
+    /// (a persistently hung node).
+    pub fn hang_rank(mut self, rank: usize, step: usize) -> Self {
+        self.hangs.insert(rank, step);
+        self
+    }
+
+    /// Corrupt the codec frame `rank` publishes at global step `step`
+    /// (0-based), in flight, *once*. The frame damage is guaranteed to
+    /// surface as a typed decode error on every receiver, attributed to
+    /// the sender — so elastic recovery shrinks around the corrupting
+    /// rank exactly like a transient kill. Identity-keyed and consumed
+    /// by recovery (see [`FaultPlan::remap_for_survivors`]).
+    pub fn corrupt_wire(mut self, rank: usize, step: usize) -> Self {
+        self.wire_corruptions.insert(rank, step);
+        self
+    }
+
     /// Whether `rank` is scheduled to die at or before `step` (by a
     /// permanent or a transient kill).
     pub fn should_die(&self, rank: usize, step: usize) -> bool {
@@ -117,6 +152,29 @@ impl FaultPlan {
         self.transient_kills.get(&rank).copied()
     }
 
+    /// Whether `rank` is scheduled to go silent at or before `step`.
+    pub fn should_hang(&self, rank: usize, step: usize) -> bool {
+        self.hangs.get(&rank).is_some_and(|&k| step >= k)
+    }
+
+    /// The step at which `rank`'s published frame is corrupted, if any.
+    pub fn wire_corruption_at(&self, rank: usize) -> Option<usize> {
+        self.wire_corruptions.get(&rank).copied()
+    }
+
+    /// True when the plan schedules any hang (callers must configure a
+    /// barrier deadline or accept a deadlock).
+    pub fn has_hangs(&self) -> bool {
+        !self.hangs.is_empty()
+    }
+
+    /// True when the plan schedules any in-flight wire corruption
+    /// (callers must route gradients through a codec-framed collective
+    /// for the fault to have a wire to corrupt).
+    pub fn has_wire_corruptions(&self) -> bool {
+        !self.wire_corruptions.is_empty()
+    }
+
     /// The highest rank any entry of the plan targets, or `None` for an
     /// empty plan. Callers that know the world size use this to reject
     /// plans that would otherwise silently no-op (a kill/straggle/limit
@@ -127,6 +185,8 @@ impl FaultPlan {
             self.transient_kills.keys().next_back(),
             self.stragglers.keys().next_back(),
             self.mem_limits.keys().next_back(),
+            self.hangs.keys().next_back(),
+            self.wire_corruptions.keys().next_back(),
         ]
         .into_iter()
         .flatten()
@@ -170,6 +230,14 @@ impl FaultPlan {
                 .range(..world)
                 .map(|(&r, &b)| (r, b))
                 .collect(),
+            hangs: slot_keyed(&self.hangs),
+            wire_corruptions: self
+                .wire_corruptions
+                .iter()
+                .filter_map(|(&r, &step)| {
+                    survivors.binary_search(&r).ok().map(|new_r| (new_r, step))
+                })
+                .collect(),
         }
     }
 
@@ -181,6 +249,78 @@ impl FaultPlan {
     /// The memory-capacity override for `rank`, if any.
     pub fn mem_limit(&self, rank: usize) -> Option<u64> {
         self.mem_limits.get(&rank).copied()
+    }
+}
+
+/// One injected storage fault, applied to a single checkpoint write.
+///
+/// These model the three ways a crash or flaky disk damages an on-disk
+/// checkpoint: the write is cut short (torn), a bit rots after the
+/// write completes, or the file vanishes entirely. A CRC-framed store
+/// must classify all three at recovery time instead of loading garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The write is torn at byte `keep`: only the first `keep` bytes of
+    /// the framed file reach the disk (simulating a crash mid-`write`
+    /// before the atomic rename — the temp file is truncated, then
+    /// renamed anyway so the damage is visible to the recovery scan).
+    TornWrite {
+        /// Bytes that survive; clamped to the frame length.
+        keep: usize,
+    },
+    /// After a fully successful write, bit `bit` of byte `byte` flips
+    /// (byte index wraps modulo the file length, so any value is valid).
+    BitFlip {
+        /// Byte offset into the framed file (taken modulo its length).
+        byte: usize,
+        /// Bit index 0..8 within that byte (taken modulo 8).
+        bit: u8,
+    },
+    /// The file is unlinked after the write (checkpoint silently lost).
+    Unlink,
+}
+
+/// Schedule of [`DiskFault`]s keyed by `(rank, step)`: each entry fires
+/// at most once, when that rank persists its checkpoint for that step.
+///
+/// Held by the disk-backed checkpoint store and consumed at write time;
+/// inert for steps/ranks with no entry. Kept in `simgpu::fault` beside
+/// [`FaultPlan`] so every fault class a chaos schedule composes lives
+/// in one module, even though the wire faults and disk faults are
+/// consumed by different layers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskFaultPlan {
+    faults: BTreeMap<(usize, u64), DiskFault>,
+}
+
+impl DiskFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no disk fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Schedule `fault` for the checkpoint `rank` writes at `step`
+    /// (later calls for the same `(rank, step)` override).
+    pub fn inject(mut self, rank: usize, step: u64, fault: DiskFault) -> Self {
+        self.faults.insert((rank, step), fault);
+        self
+    }
+
+    /// Consume the fault scheduled for `(rank, step)`, if any. One-shot:
+    /// a second write of the same checkpoint (e.g. after recovery
+    /// replays the step) lands clean.
+    pub fn take(&mut self, rank: usize, step: u64) -> Option<DiskFault> {
+        self.faults.remove(&(rank, step))
+    }
+
+    /// Iterate the scheduled faults (for diagnostics / tests).
+    pub fn entries(&self) -> impl Iterator<Item = (usize, u64, DiskFault)> + '_ {
+        self.faults.iter().map(|(&(r, s), &f)| (r, s, f))
     }
 }
 
@@ -259,6 +399,53 @@ mod tests {
         assert_eq!(next.straggler_delay(1), Some(Duration::from_millis(2)));
         assert_eq!(next.mem_limit(3), None, "vanished slot dropped");
         assert_eq!(next.max_rank_targeted(), Some(1));
+    }
+
+    #[test]
+    fn hang_and_wire_corruption_enter_plan_bookkeeping() {
+        let plan = FaultPlan::none().hang_rank(3, 6).corrupt_wire(5, 2);
+        assert!(!plan.is_empty());
+        assert!(plan.has_hangs());
+        assert!(plan.has_wire_corruptions());
+        assert!(!plan.should_hang(3, 5));
+        assert!(plan.should_hang(3, 6));
+        assert!(!plan.should_hang(2, 100));
+        assert_eq!(plan.wire_corruption_at(5), Some(2));
+        assert_eq!(plan.wire_corruption_at(4), None);
+        assert_eq!(plan.max_rank_targeted(), Some(5));
+    }
+
+    #[test]
+    fn remap_treats_hangs_as_slots_and_corruptions_as_identities() {
+        // World 4: hang on slot 3, corruptions on ranks 1 (dies) and 2.
+        let plan = FaultPlan::none()
+            .hang_rank(3, 9)
+            .corrupt_wire(1, 3)
+            .corrupt_wire(2, 8);
+        let next = plan.remap_for_survivors(&[0, 2, 3]);
+        // Slot 3 vanished (world is now 3), so the hang is dropped.
+        assert!(!next.should_hang(3, 100));
+        // Rank 1's corruption is consumed; old rank 2 is new rank 1.
+        assert_eq!(next.wire_corruption_at(1), Some(8));
+        assert_eq!(next.wire_corruption_at(0), None);
+    }
+
+    #[test]
+    fn disk_fault_plan_is_one_shot_per_rank_step() {
+        let mut plan = DiskFaultPlan::none()
+            .inject(0, 4, DiskFault::TornWrite { keep: 10 })
+            .inject(1, 4, DiskFault::Unlink)
+            .inject(1, 4, DiskFault::BitFlip { byte: 3, bit: 7 });
+        assert!(!plan.is_empty());
+        assert_eq!(plan.entries().count(), 2, "same (rank, step) overrides");
+        assert_eq!(plan.take(0, 4), Some(DiskFault::TornWrite { keep: 10 }));
+        assert_eq!(plan.take(0, 4), None, "consumed");
+        assert_eq!(plan.take(2, 4), None);
+        assert_eq!(
+            plan.take(1, 4),
+            Some(DiskFault::BitFlip { byte: 3, bit: 7 })
+        );
+        assert!(plan.is_empty());
     }
 
     #[test]

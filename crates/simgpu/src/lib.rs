@@ -63,11 +63,12 @@ pub use codec::{
 pub use comm::{
     chunk_range, f16_bits_to_f32, f32_to_f16_bits, hierarchical_allreduce_send_bytes,
     hierarchical_allreduce_send_bytes_parts, peer_exchange_tier_bytes, ring_allreduce_send_bytes,
-    ring_allreduce_send_bytes_parts, ring_send_tier, AbortOnDrop, CommError, CommGroup, Rank,
+    ring_allreduce_send_bytes_parts, ring_send_tier, AbortOnDrop, BarrierDeadline, CommError,
+    CommGroup, Rank,
 };
 pub use cost::CostModel;
 pub use device::{Allocation, Device, OomError};
-pub use fault::FaultPlan;
+pub use fault::{DiskFault, DiskFaultPlan, FaultPlan};
 pub use hw::HardwareConfig;
 pub use metrics::{
     bucket_bounds, bucket_index, CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry,

@@ -119,6 +119,12 @@ fn main() {
             HealthEvent::TraceTruncated { rank, dropped } => {
                 println!("  health: rank {rank} trace ring dropped {dropped} span(s)")
             }
+            HealthEvent::CheckpointCorrupt { rank, step } => {
+                println!("  health: rank {rank} checkpoint at step {step} corrupt on disk")
+            }
+            HealthEvent::Recovery { round, survivors } => {
+                println!("  health: recovery round {round}, {survivors} survivor(s)")
+            }
         }
     }
     let summary = reports[0].run_summary(&tcfg);

@@ -215,6 +215,8 @@ proptest! {
             train_loss: loss,
             dropped_spans: vals[18],
             health_events: vals[19],
+            recoveries: vals[20],
+            corruptions: vals[21],
         };
         let text = s.to_json();
         let back = RunSummary::from_json(&text).expect("parse own artifact");

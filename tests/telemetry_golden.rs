@@ -371,10 +371,12 @@ fn run_summary_json_is_byte_stable() {
         train_loss: 6.5,
         dropped_spans: 0,
         health_events: 1,
+        recoveries: 1,
+        corruptions: 2,
     };
     let expected = concat!(
         "{\n",
-        "  \"schema\": \"zlm.run_summary.v1\",\n",
+        "  \"schema\": \"zlm.run_summary.v2\",\n",
         "  \"world\": 4,\n",
         "  \"config_fingerprint\": \"05124b61d31a861b\",\n",
         "  \"steps\": 8,\n",
@@ -397,7 +399,9 @@ fn run_summary_json_is_byte_stable() {
         "  \"codec_ratio_milli\": 1000,\n",
         "  \"train_loss\": 6.5,\n",
         "  \"dropped_spans\": 0,\n",
-        "  \"health_events\": 1\n",
+        "  \"health_events\": 1,\n",
+        "  \"recoveries\": 1,\n",
+        "  \"corruptions\": 2\n",
         "}",
     );
     assert_eq!(s.to_json(), expected);
